@@ -1,0 +1,287 @@
+//===- bench/BenchCommon.h - Shared benchmark adapters ----------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapters binding every stack/queue implementation to the generic
+/// closed-loop driver (runtime/Driver.h), plus the shared sweep settings
+/// used by all experiment binaries. Setting CSOBJ_BENCH_QUICK=1 shrinks
+/// every sweep for smoke runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_BENCH_BENCHCOMMON_H
+#define CSOBJ_BENCH_BENCHCOMMON_H
+
+#include "baselines/EliminationBackoffStack.h"
+#include "baselines/LockedQueue.h"
+#include "baselines/LockedStack.h"
+#include "baselines/MichaelScottQueue.h"
+#include "baselines/TreiberStack.h"
+#include "core/AbortableQueue.h"
+#include "core/AbortableStack.h"
+#include "core/ContentionSensitiveQueue.h"
+#include "core/ContentionSensitiveStack.h"
+#include "core/NonBlockingQueue.h"
+#include "core/NonBlockingStack.h"
+#include "locks/McsLock.h"
+#include "locks/TicketLock.h"
+#include "runtime/Driver.h"
+#include "runtime/Workload.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace csobj {
+namespace bench {
+
+/// True when CSOBJ_BENCH_QUICK=1: shrink sweeps for smoke runs.
+inline bool quickMode() {
+  const char *Env = std::getenv("CSOBJ_BENCH_QUICK");
+  return Env != nullptr && Env[0] == '1';
+}
+
+/// Thread counts used by all sweep experiments.
+inline std::vector<std::uint32_t> threadSweep() {
+  if (quickMode())
+    return {1, 2};
+  return {1, 2, 4, 8};
+}
+
+/// Default operations per thread per cell.
+inline std::uint64_t opsPerThread() { return quickMode() ? 5000 : 40000; }
+
+//===----------------------------------------------------------------------===
+// Stack adapters (driver contract: apply + prefillOne)
+//===----------------------------------------------------------------------===
+
+inline OpOutcome fromPush(PushResult R) {
+  switch (R) {
+  case PushResult::Done:
+    return OpOutcome::Ok;
+  case PushResult::Full:
+    return OpOutcome::Full;
+  case PushResult::Abort:
+    return OpOutcome::Abort;
+  }
+  return OpOutcome::Abort;
+}
+
+template <typename V>
+OpOutcome fromPop(const PopResult<V> &R) {
+  if (R.isValue())
+    return OpOutcome::Ok;
+  return R.isEmpty() ? OpOutcome::Empty : OpOutcome::Abort;
+}
+
+/// Figure 1: weak operations, aborts surface to the harness.
+struct WeakStackAdapter {
+  static constexpr const char *Name = "abortable(fig1)";
+  WeakStackAdapter(std::uint32_t, std::uint32_t Capacity)
+      : Stack(Capacity) {}
+  OpOutcome apply(std::uint32_t, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.weakPush(V)) : fromPop(Stack.weakPop());
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.weakPush(V); }
+  AbortableStack<> Stack;
+};
+
+/// Figure 2: non-blocking retry loop; retries are reported.
+struct NonBlockingStackAdapter {
+  static constexpr const char *Name = "non-blocking(fig2)";
+  NonBlockingStackAdapter(std::uint32_t, std::uint32_t Capacity)
+      : Stack(Capacity) {}
+  OpOutcome apply(std::uint32_t, bool IsPush, std::uint32_t V,
+                  std::uint64_t &Retries) {
+    if (IsPush) {
+      const auto R = Stack.pushCounting(V);
+      Retries += R.Retries;
+      return fromPush(R.Result);
+    }
+    const auto R = Stack.popCounting();
+    Retries += R.Retries;
+    return fromPop(R.Result);
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(V); }
+  NonBlockingStack<> Stack;
+};
+
+/// Figure 2 with exponential backoff as the retry policy.
+struct BackoffStackAdapter {
+  static constexpr const char *Name = "non-blocking+backoff";
+  BackoffStackAdapter(std::uint32_t, std::uint32_t Capacity)
+      : Stack(Capacity) {}
+  OpOutcome apply(std::uint32_t, bool IsPush, std::uint32_t V,
+                  std::uint64_t &Retries) {
+    if (IsPush) {
+      const auto R = Stack.pushCounting(V);
+      Retries += R.Retries;
+      return fromPush(R.Result);
+    }
+    const auto R = Stack.popCounting();
+    Retries += R.Retries;
+    return fromPop(R.Result);
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(V); }
+  NonBlockingStack<Compact64, ExponentialBackoff> Stack;
+};
+
+/// Figure 3: the paper's contention-sensitive starvation-free stack.
+struct CsStackAdapter {
+  static constexpr const char *Name = "contention-sensitive(fig3)";
+  CsStackAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Stack(Threads, Capacity) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  ContentionSensitiveStack<> Stack;
+};
+
+/// Treiber's lock-free stack.
+struct TreiberStackAdapter {
+  static constexpr const char *Name = "treiber";
+  TreiberStackAdapter(std::uint32_t, std::uint32_t Capacity)
+      : Stack(Capacity) {}
+  OpOutcome apply(std::uint32_t, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(V)) : fromPop(Stack.pop());
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(V); }
+  TreiberStack Stack;
+};
+
+/// Elimination-backoff stack.
+struct EliminationStackAdapter {
+  static constexpr const char *Name = "elimination";
+  EliminationStackAdapter(std::uint32_t, std::uint32_t Capacity)
+      : Stack(Capacity) {}
+  OpOutcome apply(std::uint32_t, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(V)) : fromPop(Stack.pop());
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(V); }
+  EliminationBackoffStack Stack;
+};
+
+/// Coarse lock-based stack, parametric in the lock.
+template <typename Lock>
+struct LockedStackAdapter {
+  static constexpr const char *Name = "locked";
+  LockedStackAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Stack(Threads, Capacity) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  LockedStack<Lock> Stack;
+};
+
+//===----------------------------------------------------------------------===
+// Queue adapters
+//===----------------------------------------------------------------------===
+
+struct WeakQueueAdapter {
+  static constexpr const char *Name = "abortable-queue";
+  WeakQueueAdapter(std::uint32_t, std::uint32_t Capacity)
+      : Queue(Capacity) {}
+  OpOutcome apply(std::uint32_t, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Queue.weakEnqueue(V))
+                  : fromPop(Queue.weakDequeue());
+  }
+  void prefillOne(std::uint32_t V) { (void)Queue.weakEnqueue(V); }
+  AbortableQueue<> Queue;
+};
+
+struct NonBlockingQueueAdapter {
+  static constexpr const char *Name = "non-blocking-queue";
+  NonBlockingQueueAdapter(std::uint32_t, std::uint32_t Capacity)
+      : Queue(Capacity) {}
+  OpOutcome apply(std::uint32_t, bool IsPush, std::uint32_t V,
+                  std::uint64_t &Retries) {
+    if (IsPush) {
+      const auto R = Queue.enqueueCounting(V);
+      Retries += R.Retries;
+      return fromPush(R.Result);
+    }
+    const auto R = Queue.dequeueCounting();
+    Retries += R.Retries;
+    return fromPop(R.Result);
+  }
+  void prefillOne(std::uint32_t V) { (void)Queue.enqueue(V); }
+  NonBlockingQueue<> Queue;
+};
+
+struct CsQueueAdapter {
+  static constexpr const char *Name = "cs-queue(fig3)";
+  CsQueueAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Queue(Threads, Capacity) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Queue.enqueue(Tid, V))
+                  : fromPop(Queue.dequeue(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Queue.enqueue(0, V); }
+  ContentionSensitiveQueue<> Queue;
+};
+
+struct MsQueueAdapter {
+  static constexpr const char *Name = "michael-scott";
+  MsQueueAdapter(std::uint32_t, std::uint32_t Capacity) : Queue(Capacity) {}
+  OpOutcome apply(std::uint32_t, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Queue.enqueue(V)) : fromPop(Queue.dequeue());
+  }
+  void prefillOne(std::uint32_t V) { (void)Queue.enqueue(V); }
+  MichaelScottQueue Queue;
+};
+
+template <typename Lock>
+struct LockedQueueAdapter {
+  static constexpr const char *Name = "locked-queue";
+  LockedQueueAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Queue(Threads, Capacity) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Queue.enqueue(Tid, V))
+                  : fromPop(Queue.dequeue(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Queue.enqueue(0, V); }
+  LockedQueue<Lock> Queue;
+};
+
+/// Default asynchrony-injection level for contended sweeps: 10% yield
+/// probability per shared access (see memory/ChaosHook.h). On a
+/// single-core host this emulates the paper's asynchronous interleaving;
+/// all implementations run under the identical hook.
+inline constexpr std::uint32_t DefaultChaosPermille = 100;
+
+/// Runs one sweep cell: fresh adapter, closed loop, returns the report.
+template <typename AdapterT>
+WorkloadReport runCell(std::uint32_t Threads, std::uint32_t ThinkNs = 0,
+                       std::uint32_t PushPercent = 50,
+                       std::uint32_t Capacity = 4096,
+                       std::uint32_t ChaosPermille = DefaultChaosPermille) {
+  WorkloadConfig Config;
+  Config.Threads = Threads;
+  Config.OpsPerThread = opsPerThread();
+  Config.PushPercent = PushPercent;
+  Config.ThinkTimeNs = ThinkNs;
+  Config.Capacity = Capacity;
+  Config.PrefillPercent = 50;
+  Config.ChaosYieldPermille = Threads > 1 ? ChaosPermille : 0;
+  AdapterT Adapter(Threads, Capacity);
+  return runClosedLoop(Adapter, Config);
+}
+
+} // namespace bench
+} // namespace csobj
+
+#endif // CSOBJ_BENCH_BENCHCOMMON_H

@@ -1,0 +1,114 @@
+//===- bench/bench_boost.cpp - Experiment E9 (ablation) ------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E9 — two ways to make an abortable object starvation-free, head to
+/// head (the paper's Section 5 closes by pointing at this design space,
+/// refs [4, 25]):
+///
+///  * Figure 3: shortcut + deadlock-free lock + FLAG/TURN round robin;
+///  * TimestampBoost: shortcut + announce/defer on fetch-and-add
+///    timestamps, no lock at all.
+///
+/// Both keep the solo cost at six accesses. The sweep shows throughput,
+/// tail latency and fairness as contention rises; the structural
+/// difference (O(1) handoff vs O(n) announcement scan) shows in the
+/// contended rows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/TimestampBoost.h"
+#include "core/WaitFreeUniversal.h"
+#include "memory/AccessCounter.h"
+#include "runtime/TablePrinter.h"
+
+#include <iostream>
+
+namespace {
+
+using namespace csobj;
+using namespace csobj::bench;
+
+struct WaitFreeStackAdapter {
+  static constexpr const char *Name = "wait-free-universal";
+  WaitFreeStackAdapter(std::uint32_t Threads, std::uint32_t /*Capacity*/)
+      : Stack(Threads) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  // Compile-time capacity: 64 elements (the construction copies the
+  // whole state per operation, so it targets small objects).
+  WaitFreeStack<64> Stack;
+};
+
+struct BoostedStackAdapter {
+  static constexpr const char *Name = "timestamp-boost";
+  BoostedStackAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Stack(Threads, Capacity) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  BoostedStack<> Stack;
+};
+
+template <typename AdapterT>
+void addRows(TablePrinter &Table, const char *Name) {
+  for (const std::uint32_t Threads : threadSweep()) {
+    const WorkloadReport R = runCell<AdapterT>(Threads);
+    const LatencySummary S = summarize(R.mergedLatency());
+    Table.addRow({Name, std::to_string(Threads),
+                  formatRate(R.throughputOpsPerSec()),
+                  formatNs(static_cast<double>(S.P99Ns)),
+                  formatNs(static_cast<double>(S.MaxNs)),
+                  formatDouble(R.meanLatencyRatio(), 2),
+                  std::to_string(R.totalAborts())});
+  }
+}
+
+} // namespace
+
+int main() {
+  // Fig3 and the timestamp boost share the six-access contention-free
+  // fast path; the wait-free universal construction pays its state copy
+  // and announcement scan even when alone (it is NOT
+  // contention-sensitive) — the cost of the strongest guarantee.
+  {
+    ContentionSensitiveStack<> Fig3(4, 64);
+    BoostedStack<> Boosted(4, 64);
+    WaitFreeStack<64> WaitFree(4);
+    const AccessCounts A =
+        countAccesses([&] { (void)Fig3.push(0, 1); });
+    const AccessCounts B =
+        countAccesses([&] { (void)Boosted.push(0, 1); });
+    const AccessCounts C =
+        countAccesses([&] { (void)WaitFree.push(0, 1); });
+    std::cout << "solo strong_push accesses: fig3 = " << A.total()
+              << ", timestamp-boost = " << B.total()
+              << ", wait-free universal = " << C.total()
+              << " (+ state copy outside counted registers)\n\n";
+  }
+
+  TablePrinter Table({"mechanism", "threads", "throughput", "p99", "max",
+                      "svc-ratio", "aborts"});
+  Table.setTitle("E9: progress-boosting mechanisms — lock+turn (fig3), "
+                 "timestamp deference [4,25], wait-free universal [7]");
+  addRows<CsStackAdapter>(Table, "lock+turn (fig3)");
+  addRows<BoostedStackAdapter>(Table, "timestamp-boost");
+  addRows<WaitFreeStackAdapter>(Table, "wait-free universal [7]");
+  addRows<NonBlockingStackAdapter>(Table, "none (fig2, lock-free only)");
+  Table.print(std::cout);
+
+  std::cout << "\ntakeaway: both boosts surface zero aborts with even service; "
+               "figure 3 pays a lock word, the boost pays an O(n) "
+               "announcement scan per contended wait\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- bench/bench_starvation.cpp - Experiment E4 ------------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E4 — starvation-freedom of Figure 3 (Theorem 1). Under sustained
+/// contention, compares the Figure 3 stack against the non-blocking stack
+/// (only lock-free: individual threads may retry unboundedly) and the
+/// TAS-locked stack (deadlock-free only: unfair handoff). Reported:
+/// latency tail (p50/p99/max) and the service ratio — slowest thread's
+/// mean op latency over the fastest thread's (1 = perfectly even
+/// service). The paper's claim shows up as Figure 3 keeping the service
+/// ratio small with a bounded tail, with no aborts surfaced.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "runtime/TablePrinter.h"
+
+#include <iostream>
+
+namespace {
+
+template <typename AdapterT>
+void addRows(csobj::TablePrinter &Table, const char *Name) {
+  using namespace csobj;
+  using namespace csobj::bench;
+  for (const std::uint32_t Threads : threadSweep()) {
+    const WorkloadReport R = runCell<AdapterT>(Threads);
+    const LatencySummary S = summarize(R.mergedLatency());
+    Table.addRow({Name, std::to_string(Threads),
+                  formatNs(static_cast<double>(S.P50Ns)),
+                  formatNs(static_cast<double>(S.P99Ns)),
+                  formatNs(static_cast<double>(S.MaxNs)),
+                  formatDouble(R.meanLatencyRatio(), 2),
+                  std::to_string(R.totalAborts()),
+                  formatRate(R.throughputOpsPerSec())});
+  }
+}
+
+} // namespace
+
+int main() {
+  using namespace csobj;
+  using namespace csobj::bench;
+
+  TablePrinter Table({"stack", "threads", "p50", "p99", "max",
+                      "svc-ratio", "aborts", "throughput"});
+  Table.setTitle("E4: starvation-freedom — latency tail and fairness "
+                 "under contention (think=0, 50/50)");
+  addRows<CsStackAdapter>(Table, "cs(fig3)");
+  addRows<NonBlockingStackAdapter>(Table, "non-blocking(fig2)");
+  addRows<LockedStackAdapter<TasLock>>(Table, "locked(tas)");
+  addRows<LockedStackAdapter<TicketLock>>(Table, "locked(ticket)");
+  Table.print(std::cout);
+
+  std::cout << "\npaper claim: fig3 surfaces zero aborts and keeps even "
+               "per-thread service (svc-ratio near 1) with a bounded "
+               "tail, while remaining lock-free in the common case\n";
+  return 0;
+}

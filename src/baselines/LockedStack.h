@@ -1,0 +1,66 @@
+//===- baselines/LockedStack.h - Coarse lock-based stack --------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "traditional lock-based shared memory synchronization" the paper's
+/// introduction contrasts against: a bounded sequential stack protected
+/// by one lock, parametric in the lock type so the benchmark tables can
+/// show every lock of the substrate. This is the implementation whose
+/// locking overhead a contention-sensitive object eliminates in the
+/// common case (experiment E5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_BASELINES_LOCKEDSTACK_H
+#define CSOBJ_BASELINES_LOCKEDSTACK_H
+
+#include "core/Results.h"
+#include "locks/LockTraits.h"
+#include "locks/TasLock.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace csobj {
+
+/// Bounded stack fully serialized by a single lock.
+template <typename Lock = TtasLock>
+class LockedStack {
+public:
+  using Value = std::uint32_t;
+
+  LockedStack(std::uint32_t NumThreads, std::uint32_t Capacity)
+      : Guard(NumThreads), CapacityK(Capacity),
+        Contents(new Value[Capacity]) {}
+
+  PushResult push(std::uint32_t Tid, Value V) {
+    ScopedLock<Lock> Hold(Guard, Tid);
+    if (Size == CapacityK)
+      return PushResult::Full;
+    Contents[Size++] = V;
+    return PushResult::Done;
+  }
+
+  PopResult<Value> pop(std::uint32_t Tid) {
+    ScopedLock<Lock> Hold(Guard, Tid);
+    if (Size == 0)
+      return PopResult<Value>::empty();
+    return PopResult<Value>::value(Contents[--Size]);
+  }
+
+  std::uint32_t capacity() const { return CapacityK; }
+  std::uint32_t sizeForTesting() const { return Size; }
+
+private:
+  Lock Guard;
+  const std::uint32_t CapacityK;
+  std::uint32_t Size = 0;
+  std::unique_ptr<Value[]> Contents;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_BASELINES_LOCKEDSTACK_H

@@ -1,0 +1,146 @@
+//===- baselines/TreiberStack.h - Classic lock-free stack -------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Treiber's linked lock-free stack (IBM RC 5118, 1986), the canonical
+/// CAS-retry stack and the natural baseline for the paper's array-based
+/// family. Nodes come from a preallocated IndexPool so the structure is
+/// bounded and total like the paper's stack (pool exhausted => Full), and
+/// the head carries an ABA tag exactly as Section 2.2 prescribes.
+///
+/// The retry loops make the structure *lock-free* (some operation always
+/// completes) but not starvation-free, and unlike Figure 1 an individual
+/// attempt is never surfaced as aborted — contrast objects for
+/// experiments E2-E5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_BASELINES_TREIBERSTACK_H
+#define CSOBJ_BASELINES_TREIBERSTACK_H
+
+#include "core/Results.h"
+#include "memory/AtomicRegister.h"
+#include "memory/IndexPool.h"
+#include "support/BitPack.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace csobj {
+
+/// Bounded Treiber stack over a preallocated node pool.
+class TreiberStack {
+public:
+  using Value = std::uint32_t;
+
+  explicit TreiberStack(std::uint32_t Capacity)
+      : Pool(Capacity), Nodes(new Node[Capacity]) {}
+
+  /// Pushes \p V; Full when the node pool is exhausted.
+  PushResult push(Value V) {
+    const std::optional<std::uint32_t> Idx = Pool.tryAcquire();
+    if (!Idx)
+      return PushResult::Full;
+    Nodes[*Idx].Payload.write(V);
+    while (true) {
+      const std::uint64_t Observed = Head.read();
+      Nodes[*Idx].Next.write(linkOf(Observed));
+      if (Head.compareAndSwap(
+              Observed,
+              HeadCodec::pack(*Idx + 1, tagOf(Observed) + 1)))
+        return PushResult::Done;
+    }
+  }
+
+  /// Pops the top value; Empty when the stack is empty.
+  PopResult<Value> pop() {
+    while (true) {
+      const std::uint64_t Observed = Head.read();
+      const std::uint32_t Link = linkOf(Observed);
+      if (Link == 0)
+        return PopResult<Value>::empty();
+      const std::uint32_t Idx = Link - 1;
+      const std::uint32_t NextLink = Nodes[Idx].Next.read();
+      const Value V = Nodes[Idx].Payload.read();
+      if (Head.compareAndSwap(
+              Observed, HeadCodec::pack(NextLink, tagOf(Observed) + 1))) {
+        Pool.release(Idx);
+        return PopResult<Value>::value(V);
+      }
+    }
+  }
+
+  /// Single head-CAS push attempt: Done, Full, or Abort when the CAS
+  /// lost a race. This makes the Treiber stack an *abortable* object in
+  /// the paper's sense, so it can be wrapped by the Figure 3 construction
+  /// (ablation E8) and by the elimination layer.
+  PushResult tryPushOnce(Value V) {
+    const std::optional<std::uint32_t> Idx = Pool.tryAcquire();
+    if (!Idx)
+      return PushResult::Full;
+    Nodes[*Idx].Payload.write(V);
+    const std::uint64_t Observed = Head.read();
+    Nodes[*Idx].Next.write(linkOf(Observed));
+    if (Head.compareAndSwap(Observed,
+                            HeadCodec::pack(*Idx + 1, tagOf(Observed) + 1)))
+      return PushResult::Done;
+    Pool.release(*Idx);
+    return PushResult::Abort;
+  }
+
+  /// Single head-CAS pop attempt: value, Empty, or Abort on a lost race.
+  PopResult<Value> tryPopOnce() {
+    const std::uint64_t Observed = Head.read();
+    const std::uint32_t Link = linkOf(Observed);
+    if (Link == 0)
+      return PopResult<Value>::empty();
+    const std::uint32_t Idx = Link - 1;
+    const std::uint32_t NextLink = Nodes[Idx].Next.read();
+    const Value V = Nodes[Idx].Payload.read();
+    if (Head.compareAndSwap(Observed,
+                            HeadCodec::pack(NextLink, tagOf(Observed) + 1))) {
+      Pool.release(Idx);
+      return PopResult<Value>::value(V);
+    }
+    return PopResult<Value>::abort();
+  }
+
+  std::uint32_t capacity() const { return Pool.size(); }
+
+  /// Quiescent-only element count (test/debug aid).
+  std::uint32_t sizeForTesting() const {
+    std::uint32_t Count = 0;
+    std::uint32_t Link = linkOf(Head.peekForTesting());
+    while (Link != 0) {
+      ++Count;
+      Link = Nodes[Link - 1].Next.peekForTesting();
+    }
+    return Count;
+  }
+
+private:
+  using HeadCodec = PackedPair<std::uint64_t, 32, 32>;
+
+  static std::uint32_t linkOf(std::uint64_t Word) {
+    return static_cast<std::uint32_t>(HeadCodec::a(Word));
+  }
+  static std::uint32_t tagOf(std::uint64_t Word) {
+    return static_cast<std::uint32_t>(HeadCodec::b(Word));
+  }
+
+  struct Node {
+    AtomicRegister<Value> Payload{0};
+    AtomicRegister<std::uint32_t> Next{0}; ///< Link = index+1; 0 = null.
+  };
+
+  IndexPool Pool;
+  AtomicRegister<std::uint64_t> Head{0}; ///< <link, tag>; link 0 = empty.
+  std::unique_ptr<Node[]> Nodes;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_BASELINES_TREIBERSTACK_H

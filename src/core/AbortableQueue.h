@@ -1,0 +1,165 @@
+//===- core/AbortableQueue.h - Abortable array-based queue ------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The companion object of the paper's stack: an abortable bounded FIFO
+/// queue in the lazy-helping style of Shafiei's array-based algorithms
+/// (the paper's reference [22], which covers stacks *and* queues). The
+/// paper motivates contention-sensitiveness with "enqueuing and dequeuing
+/// on a non-empty queue" as the canonical pair of *non-interfering*
+/// operations — this object realizes that: enqueue operations C&S only
+/// REAR, dequeue operations C&S only FRONT, so on a non-empty non-full
+/// queue they never abort each other (experiment E7).
+///
+/// Representation (ring of Capacity+1 slots; one is kept free to separate
+/// full from empty):
+///  * REAR  = <index, value, seqnb>: the last enqueued position, lazy
+///    exactly like the stack's TOP — the value is written into
+///    ITEMS[index] by the *next* operation's help.
+///  * FRONT = <index, seqnb>: the position *before* the oldest element
+///    (the queue's dummy); its seqnb is a pure ABA tag.
+///  * ITEMS[0..Capacity]: <val, sn> pairs as in the stack.
+///
+/// Full/empty answers need care that the single-register stack does not:
+/// REAR and FRONT cannot be read in one atomic snapshot. Where the paper
+/// would need a proof that a stale snapshot still linearizes, this
+/// implementation re-validates both registers and *aborts when
+/// uncertain* — which abortable semantics explicitly permit (a solo
+/// operation never takes these abort paths, as the tests verify).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_ABORTABLEQUEUE_H
+#define CSOBJ_CORE_ABORTABLEQUEUE_H
+
+#include "core/Results.h"
+#include "memory/AtomicRegister.h"
+#include "memory/TaggedValue.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace csobj {
+
+/// Abortable, linearizable, lock-free bounded FIFO queue.
+template <typename Config = Compact64>
+class AbortableQueue {
+public:
+  using TopC = typename Config::Top;   ///< Codec for REAR (a triple).
+  using SlotC = typename Config::Slot; ///< Codec for ITEMS and FRONT.
+  using Value = typename Config::Value;
+
+  static constexpr Value Bottom = TopC::Bottom;
+
+  /// Creates a queue holding up to \p Capacity elements.
+  explicit AbortableQueue(std::uint32_t Capacity)
+      : K(Capacity), Ring(Capacity + 1),
+        Items(new AtomicRegister<SlotWord>[Capacity + 1]) {
+    assert(Capacity >= 1 && "queue capacity must be positive");
+    assert(Capacity + 1 <= TopC::MaxIndex && "capacity exceeds index field");
+    Rear.write(TopC::pack({/*Index=*/0, /*Value=*/Bottom, /*Seq=*/0}));
+    Front.write(SlotC::pack({/*Value=*/0, /*Seq=*/0}));
+    Items[0].write(SlotC::pack({Bottom, TopC::seqAdd(0, -1)}));
+    for (std::uint32_t X = 1; X < Ring; ++X)
+      Items[X].write(SlotC::pack({Bottom, 0}));
+  }
+
+  /// weak_enqueue(v): Done, Full, or Abort. Solo operations never abort.
+  PushResult weakEnqueue(Value V) {
+    assert(V != Bottom && "cannot enqueue the reserved bottom value");
+    const TopWord RearW = Rear.read();
+    const TopFields<Value> R = TopC::unpack(RearW);
+    helpRear(R);
+    const SlotWord FrontW = Front.read();
+    const std::uint32_t FrontIdx = frontIndex(FrontW);
+    if (next(R.Index) == FrontIdx) {
+      // Possibly full; certify against stale REAR/FRONT (see file
+      // comment) or abort under concurrency.
+      if (Rear.read() != RearW)
+        return PushResult::Abort;
+      if (Front.read() != FrontW)
+        return PushResult::Abort;
+      return PushResult::Full;
+    }
+    const SlotFields<Value> Next =
+        SlotC::unpack(Items[next(R.Index)].read());
+    const TopWord NewRear =
+        TopC::pack({next(R.Index), V, TopC::seqAdd(Next.Seq, +1)});
+    if (Rear.compareAndSwap(RearW, NewRear))
+      return PushResult::Done;
+    return PushResult::Abort;
+  }
+
+  /// weak_dequeue(): the oldest value, Empty, or Abort. Solo operations
+  /// never abort.
+  PopResult<Value> weakDequeue() {
+    const TopWord RearW = Rear.read();
+    const TopFields<Value> R = TopC::unpack(RearW);
+    helpRear(R);
+    const SlotWord FrontW = Front.read();
+    const std::uint32_t FrontIdx = frontIndex(FrontW);
+    if (FrontIdx == R.Index) {
+      // Possibly empty; certify: REAR still at FRONT's position and
+      // FRONT unmoved => the queue was empty at the FRONT re-read.
+      const TopFields<Value> R2 = TopC::unpack(Rear.read());
+      if (R2.Index != FrontIdx)
+        return PopResult<Value>::abort();
+      if (Front.read() != FrontW)
+        return PopResult<Value>::abort();
+      return PopResult<Value>::empty();
+    }
+    const SlotFields<Value> Oldest =
+        SlotC::unpack(Items[next(FrontIdx)].read());
+    const SlotWord NewFront = SlotC::pack(
+        {static_cast<Value>(next(FrontIdx)),
+         TopC::seqAdd(frontSeq(FrontW), +1)});
+    if (Front.compareAndSwap(FrontW, NewFront))
+      return PopResult<Value>::value(Oldest.Value);
+    return PopResult<Value>::abort();
+  }
+
+  std::uint32_t capacity() const { return K; }
+
+  /// Quiescent-only element count (test/debug aid).
+  std::uint32_t sizeForTesting() const {
+    const std::uint32_t R = TopC::unpack(Rear.peekForTesting()).Index;
+    const std::uint32_t F = frontIndex(Front.peekForTesting());
+    return (R + Ring - F) % Ring;
+  }
+
+private:
+  using TopWord = typename TopC::Word;
+  using SlotWord = typename SlotC::Word;
+
+  std::uint32_t next(std::uint32_t Index) const {
+    return (Index + 1) % Ring;
+  }
+
+  static std::uint32_t frontIndex(SlotWord W) {
+    return static_cast<std::uint32_t>(SlotC::unpack(W).Value);
+  }
+  static std::uint32_t frontSeq(SlotWord W) { return SlotC::unpack(W).Seq; }
+
+  /// Completes the lazy ITEMS write of the last enqueue recorded in REAR
+  /// (identical to the stack's help, lines 15-16 of Figure 1).
+  void helpRear(const TopFields<Value> &R) {
+    const SlotFields<Value> Cur = SlotC::unpack(Items[R.Index].read());
+    Items[R.Index].compareAndSwap(
+        SlotC::pack({Cur.Value, TopC::seqAdd(R.Seq, -1)}),
+        SlotC::pack({R.Value, R.Seq}));
+  }
+
+  const std::uint32_t K;
+  const std::uint32_t Ring; ///< Number of slots (K + 1).
+  AtomicRegister<TopWord> Rear;
+  AtomicRegister<SlotWord> Front;
+  std::unique_ptr<AtomicRegister<SlotWord>[]> Items;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_ABORTABLEQUEUE_H

@@ -1,0 +1,154 @@
+//===- core/AbortableStack.h - The paper's Figure 1 -------------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abortable stack of Figure 1 — a simplified version of Shafiei's
+/// array-based non-blocking stack (ICDCN'09, the paper's reference [22]).
+///
+/// Representation (Section 3):
+///  * TOP: one atomic register holding the triple <index, value, seqnb>
+///    describing the last non-aborted operation.
+///  * STACK[0..k]: k+1 atomic registers, each a pair <val, sn>; STACK[0]
+///    is a dummy entry that conceptually always holds bottom.
+///
+/// The implementation is *lazy*: a successful operation installs its
+/// outcome into TOP with one Compare&Swap and leaves the corresponding
+/// write of STACK[index] to the *next* operation, which "helps" it
+/// (procedure help, lines 15-16) before attempting its own update. The
+/// per-slot sequence numbers defeat the ABA problem exactly as described
+/// in Section 2.2.
+///
+/// A successful weak_push/weak_pop performs 5 shared-memory accesses
+/// (read TOP; read STACK[index]; C&S STACK[index]; read the neighbour
+/// slot; C&S TOP); full/empty answers take 3. Under interference an
+/// operation may return bottom (PushResult::Abort / PopResult::abort()),
+/// in which case it had no effect — the property the contention-sensitive
+/// construction of Figure 3 builds on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_ABORTABLESTACK_H
+#define CSOBJ_CORE_ABORTABLESTACK_H
+
+#include "core/Results.h"
+#include "memory/AtomicRegister.h"
+#include "memory/TaggedValue.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace csobj {
+
+/// Figure 1: an abortable, linearizable, lock-free bounded stack.
+///
+/// \tparam Config a codec family (Compact64 or Wide128) fixing the packed
+///         layout of TOP and STACK[x] and the payload type.
+template <typename Config = Compact64>
+class AbortableStack {
+public:
+  using TopC = typename Config::Top;
+  using SlotC = typename Config::Slot;
+  using Value = typename Config::Value;
+
+  /// The reserved bottom payload; pushing it is a precondition violation.
+  static constexpr Value Bottom = TopC::Bottom;
+
+  /// Creates a stack of capacity \p Capacity (the paper's k). Entry 0 of
+  /// the backing array is the dummy slot, so Capacity must be at least 1
+  /// and small enough for the index field of the TOP codec.
+  explicit AbortableStack(std::uint32_t Capacity)
+      : K(Capacity), Slots(new AtomicRegister<SlotWord>[Capacity + 1]) {
+    assert(Capacity >= 1 && "stack capacity must be positive");
+    assert(Capacity <= TopC::MaxIndex && "capacity exceeds index field");
+    // TOP <- <0, bottom, 0>; STACK[0] <- <bottom, -1>; STACK[x] <- <bottom, 0>.
+    Top.write(TopC::pack({/*Index=*/0, /*Value=*/Bottom, /*Seq=*/0}));
+    Slots[0].write(SlotC::pack({Bottom, TopC::seqAdd(0, -1)}));
+    for (std::uint32_t X = 1; X <= Capacity; ++X)
+      Slots[X].write(SlotC::pack({Bottom, 0}));
+  }
+
+  /// weak_push(v), lines 01-07. Returns Done, Full, or Abort (bottom).
+  /// \p V must not be the reserved Bottom payload and must fit the codec's
+  /// value field.
+  PushResult weakPush(Value V) {
+    assert(V != Bottom && "cannot push the reserved bottom value");
+    assert((V & static_cast<Value>(TopC::Bottom)) == V &&
+           "value exceeds the codec's value field");
+    const TopWord Observed = Top.read();                        // line 01
+    const TopFields<Value> Cur = TopC::unpack(Observed);
+    help(Cur);                                                  // line 02
+    if (Cur.Index == K)                                         // line 03
+      return PushResult::Full;
+    const SlotFields<Value> Next =
+        SlotC::unpack(Slots[Cur.Index + 1].read());             // line 04
+    const TopWord NewTop = TopC::pack(
+        {Cur.Index + 1, V, TopC::seqAdd(Next.Seq, +1)});        // line 05
+    if (Top.compareAndSwap(Observed, NewTop))                   // line 06
+      return PushResult::Done;
+    return PushResult::Abort;                                   // line 07
+  }
+
+  /// weak_pop(), lines 08-14. Returns the popped value, Empty, or Abort.
+  PopResult<Value> weakPop() {
+    const TopWord Observed = Top.read();                        // line 08
+    const TopFields<Value> Cur = TopC::unpack(Observed);
+    help(Cur);                                                  // line 09
+    if (Cur.Index == 0)                                         // line 10
+      return PopResult<Value>::empty();
+    const SlotFields<Value> Below =
+        SlotC::unpack(Slots[Cur.Index - 1].read());             // line 11
+    const TopWord NewTop = TopC::pack(
+        {Cur.Index - 1, Below.Value, TopC::seqAdd(Below.Seq, +1)}); // line 12
+    if (Top.compareAndSwap(Observed, NewTop))                   // line 13
+      return PopResult<Value>::value(Cur.Value);
+    return PopResult<Value>::abort();                           // line 14
+  }
+
+  /// The paper's k.
+  std::uint32_t capacity() const { return K; }
+
+  /// Number of elements currently on the stack. Inherently racy under
+  /// concurrency; exact when quiescent. Uninstrumented (test/debug aid).
+  std::uint32_t sizeForTesting() const {
+    return TopC::unpack(Top.peekForTesting()).Index;
+  }
+
+  /// Decoded TOP register (test/debug aid, uninstrumented).
+  TopFields<Value> topForTesting() const {
+    return TopC::unpack(Top.peekForTesting());
+  }
+
+  /// Decoded STACK[x] register (test/debug aid, uninstrumented).
+  SlotFields<Value> slotForTesting(std::uint32_t X) const {
+    assert(X <= K && "slot index out of range");
+    return SlotC::unpack(Slots[X].peekForTesting());
+  }
+
+private:
+  using TopWord = typename TopC::Word;
+  using SlotWord = typename SlotC::Word;
+
+  /// procedure help(index, value, seqnb), lines 15-16: complete the lazy
+  /// write of the previous non-aborted operation into STACK[index]. The
+  /// C&S succeeds only if that write has not been done yet (expected
+  /// sequence number seqnb - 1).
+  void help(const TopFields<Value> &T) {
+    const SlotFields<Value> Cur =
+        SlotC::unpack(Slots[T.Index].read());                   // line 15
+    Slots[T.Index].compareAndSwap(
+        SlotC::pack({Cur.Value, TopC::seqAdd(T.Seq, -1)}),
+        SlotC::pack({T.Value, T.Seq}));                         // line 16
+  }
+
+  const std::uint32_t K;
+  AtomicRegister<TopWord> Top;
+  std::unique_ptr<AtomicRegister<SlotWord>[]> Slots;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_ABORTABLESTACK_H

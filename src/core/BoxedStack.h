@@ -1,0 +1,78 @@
+//===- core/BoxedStack.h - Arbitrary payloads over the core -----*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's stack carries register-sized values (its TOP register
+/// stores the value inline). BoxedStack<T> lifts that to arbitrary C++
+/// payloads: values live in a preallocated slot array, a lock-free
+/// IndexPool hands out slots, and the contention-sensitive stack of
+/// Figure 3 stores the slot indices. The slot handoff is safe because a
+/// slot index is exclusively owned from acquisition until it is pushed,
+/// and again from the pop until release — the stack's linearizability
+/// orders the transfers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_BOXEDSTACK_H
+#define CSOBJ_CORE_BOXEDSTACK_H
+
+#include "core/ContentionSensitiveStack.h"
+#include "memory/IndexPool.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace csobj {
+
+/// Starvation-free contention-sensitive stack of arbitrary T.
+template <typename T, typename Lock = TasLock>
+class BoxedStack {
+public:
+  /// \p NumThreads is the paper's n; \p Capacity the element bound.
+  BoxedStack(std::uint32_t NumThreads, std::uint32_t Capacity)
+      : Pool(Capacity), Slots(new T[Capacity]),
+        Indices(NumThreads, Capacity) {}
+
+  /// Pushes \p V. Returns false when the stack is full.
+  bool push(std::uint32_t Tid, T V) {
+    const std::optional<std::uint32_t> Idx = Pool.tryAcquire();
+    if (!Idx)
+      return false;
+    Slots[*Idx] = std::move(V);
+    const PushResult Res = Indices.push(Tid, *Idx);
+    // The index stack has exactly pool-many slots of capacity, so a slot
+    // we own always fits.
+    assert(Res == PushResult::Done && "index stack cannot be full here");
+    (void)Res;
+    return true;
+  }
+
+  /// Pops the most recent value, or nullopt when empty.
+  std::optional<T> pop(std::uint32_t Tid) {
+    const PopResult<std::uint32_t> Res = Indices.pop(Tid);
+    if (!Res.isValue())
+      return std::nullopt;
+    const std::uint32_t Idx = Res.value();
+    T Out = std::move(Slots[Idx]);
+    Pool.release(Idx);
+    return Out;
+  }
+
+  std::uint32_t capacity() const { return Pool.size(); }
+  std::uint32_t sizeForTesting() const { return Indices.sizeForTesting(); }
+
+private:
+  IndexPool Pool;
+  std::unique_ptr<T[]> Slots;
+  ContentionSensitiveStack<Compact64, Lock> Indices;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_BOXEDSTACK_H

@@ -1,0 +1,159 @@
+//===- core/ContentionSensitive.h - The paper's Figure 3 --------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 3: the generic contention-sensitive, starvation-free
+/// construction. Given *any* abortable object operation (a callable that
+/// either returns a non-bottom result or reports abort), strongApply runs
+/// the paper's strong_push_or_pop(par):
+///
+///   lines 01-03 (the lock-free "shortcut"): if CONTENTION is false, try
+///     the weak operation once; a non-bottom result returns immediately.
+///     In a contention-free context this is the whole execution — one
+///     read of CONTENTION plus the weak operation's accesses (six total
+///     for the stack), and no lock.
+///   lines 04-06 (the doorway): FLAG[i] <- true, wait for priority
+///     (TURN = i or FLAG[TURN] = false), then take the deadlock-free lock.
+///   lines 07-13 (the protected retry): raise CONTENTION, repeat the weak
+///     operation until it succeeds, lower CONTENTION, release the doorway
+///     and the lock, return the result.
+///
+/// The template is the paper's remark made code: contention-sensitiveness
+/// is independent of which operation (push or pop — or enqueue, dequeue,
+/// increment ...) is being strengthened, so the adapter works for any
+/// abortable object. Starvation-freedom follows from Lemmas 1-3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_CONTENTIONSENSITIVE_H
+#define CSOBJ_CORE_CONTENTIONSENSITIVE_H
+
+#include "locks/RoundRobinArbiter.h"
+#include "locks/TasLock.h"
+#include "memory/AtomicRegister.h"
+#include "support/SpinWait.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+namespace csobj {
+
+/// The Figure 3 execution skeleton. One instance guards one abortable
+/// object; all strong operations on that object must go through the same
+/// instance (they share CONTENTION, FLAG, TURN and LOCK).
+///
+/// \tparam Lock a deadlock-free lock (LockConcept). Starvation-freedom of
+///         the whole construction does NOT require the lock itself to be
+///         starvation-free — that is the point of the doorway. TasLock is
+///         the default to exercise exactly the paper's assumption.
+template <typename Lock = TasLock>
+class ContentionSensitive {
+public:
+  /// \p NumThreads is the paper's n; thread ids are 0..n-1.
+  explicit ContentionSensitive(std::uint32_t NumThreads)
+      : N(NumThreads), Arbiter(NumThreads), Guard(NumThreads) {
+    assert(NumThreads >= 1 && "need at least one process");
+  }
+
+  /// strong_push_or_pop(par) for a generic operation. \p WeakOp is
+  /// invoked with no arguments and returns std::optional<R>: nullopt
+  /// encodes the paper's bottom (the attempt aborted; it had no effect),
+  /// any value is a final non-bottom result (including full/empty style
+  /// answers). Never returns bottom; always terminates (starvation-free,
+  /// Theorem 1).
+  template <typename WeakOpFn>
+  auto strongApply(std::uint32_t Tid, WeakOpFn WeakOp)
+      -> typename std::invoke_result_t<WeakOpFn>::value_type {
+    assert(Tid < N && "thread id out of range");
+    if (Contention.read() == 0) {            // line 01
+      if (auto Res = WeakOp())               // line 02
+        return *Res;
+    }
+    Arbiter.enter(Tid);                      // lines 04-05
+    Guard.lock(Tid);                         // line 06
+    Contention.write(1);                     // line 07
+    SpinWait Waiter;
+    auto Res = WeakOp();                     // line 08 (repeat ... until)
+    while (!Res) {
+      Waiter.once();
+      Res = WeakOp();
+    }
+    Contention.write(0);                     // line 09
+    Arbiter.exitAndAdvance(Tid);             // lines 10-11
+    Guard.unlock(Tid);                       // line 12
+    return *Res;                             // line 13
+  }
+
+  std::uint32_t numThreads() const { return N; }
+
+  /// Whether the slow path currently holds the object (test/debug aid).
+  bool contentionForTesting() const {
+    return Contention.peekForTesting() != 0;
+  }
+
+  /// The doorway (exposed for fairness tests).
+  RoundRobinArbiter &arbiter() { return Arbiter; }
+
+private:
+  const std::uint32_t N;
+  AtomicRegister<std::uint8_t> Contention{0};
+  RoundRobinArbiter Arbiter;
+  Lock Guard;
+};
+
+/// The paper's Section 4.1 Remark, as code: "If the lock is
+/// starvation-free (...) the array FLAG[1..n] and the register TURN
+/// become useless and consequently the lines 04-05 and 10-11 can be
+/// suppressed from the algorithm." This variant keeps only lines 01-03
+/// and 06-09/12-13 and must be instantiated with a lock that is itself
+/// starvation-free (ticket, MCS, CLH, Anderson, tournament, or any
+/// StarvationFreeLock<...>). Tested equivalent to the full construction.
+template <typename StarvationFreeLockT>
+class SimplifiedContentionSensitive {
+public:
+  explicit SimplifiedContentionSensitive(std::uint32_t NumThreads)
+      : N(NumThreads), Guard(NumThreads) {
+    assert(NumThreads >= 1 && "need at least one process");
+  }
+
+  /// strong_push_or_pop(par) without the doorway (paper §4.1 Remark).
+  template <typename WeakOpFn>
+  auto strongApply(std::uint32_t Tid, WeakOpFn WeakOp)
+      -> typename std::invoke_result_t<WeakOpFn>::value_type {
+    assert(Tid < N && "thread id out of range");
+    if (Contention.read() == 0) {            // line 01
+      if (auto Res = WeakOp())               // line 02
+        return *Res;
+    }
+    Guard.lock(Tid);                         // line 06
+    Contention.write(1);                     // line 07
+    SpinWait Waiter;
+    auto Res = WeakOp();                     // line 08
+    while (!Res) {
+      Waiter.once();
+      Res = WeakOp();
+    }
+    Contention.write(0);                     // line 09
+    Guard.unlock(Tid);                       // line 12
+    return *Res;                             // line 13
+  }
+
+  std::uint32_t numThreads() const { return N; }
+
+  bool contentionForTesting() const {
+    return Contention.peekForTesting() != 0;
+  }
+
+private:
+  const std::uint32_t N;
+  AtomicRegister<std::uint8_t> Contention{0};
+  StarvationFreeLockT Guard;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_CONTENTIONSENSITIVE_H

@@ -1,0 +1,73 @@
+//===- core/ContentionSensitiveCounter.h - Figure 3 genericity --*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A second, minimal instantiation of the Figure 3 skeleton demonstrating
+/// that the construction is independent of the object: an abortable
+/// fetch-and-add counter (read + C&S; abort when the C&S loses) wrapped
+/// into a starvation-free strong counter. A contention-free strong add
+/// performs three shared-memory accesses (read CONTENTION, read the
+/// counter, C&S the counter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_CONTENTIONSENSITIVECOUNTER_H
+#define CSOBJ_CORE_CONTENTIONSENSITIVECOUNTER_H
+
+#include "core/ContentionSensitive.h"
+#include "memory/AtomicRegister.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace csobj {
+
+/// Abortable counter: one read + one C&S per attempt.
+class AbortableCounter {
+public:
+  /// Adds \p Delta; returns the new value, or nullopt (bottom) when a
+  /// concurrent update won the C&S.
+  std::optional<std::uint64_t> weakAdd(std::uint64_t Delta) {
+    const std::uint64_t Seen = Register.read();
+    if (Register.compareAndSwap(Seen, Seen + Delta))
+      return Seen + Delta;
+    return std::nullopt;
+  }
+
+  std::uint64_t valueForTesting() const {
+    return Register.peekForTesting();
+  }
+
+private:
+  AtomicRegister<std::uint64_t> Register{0};
+};
+
+/// Starvation-free strong counter via the Figure 3 skeleton.
+template <typename Lock = TasLock>
+class ContentionSensitiveCounter {
+public:
+  explicit ContentionSensitiveCounter(std::uint32_t NumThreads)
+      : Strong(NumThreads) {}
+
+  /// Adds \p Delta and returns the new value. Never fails, always
+  /// terminates.
+  std::uint64_t add(std::uint32_t Tid, std::uint64_t Delta) {
+    return Strong.strongApply(
+        Tid, [this, Delta] { return Weak.weakAdd(Delta); });
+  }
+
+  std::uint64_t valueForTesting() const { return Weak.valueForTesting(); }
+
+  AbortableCounter &abortable() { return Weak; }
+
+private:
+  AbortableCounter Weak;
+  ContentionSensitive<Lock> Strong;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_CONTENTIONSENSITIVECOUNTER_H

@@ -1,0 +1,73 @@
+//===- core/ContentionSensitiveQueue.h - Figure 3 on the queue --*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 3 instantiated over the abortable queue — the construction the
+/// paper's generic strong_push_or_pop makes possible "independent of the
+/// fact that the operation is push or pop". A contention-free strong
+/// enqueue/dequeue performs seven shared-memory accesses (one read of
+/// CONTENTION plus the six of the weak queue operation) and takes no
+/// lock; starvation-freedom is inherited from the Figure 3 skeleton.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_CONTENTIONSENSITIVEQUEUE_H
+#define CSOBJ_CORE_CONTENTIONSENSITIVEQUEUE_H
+
+#include "core/AbortableQueue.h"
+#include "core/ContentionSensitive.h"
+#include "locks/TasLock.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace csobj {
+
+/// Starvation-free contention-sensitive bounded FIFO queue.
+template <typename Config = Compact64, typename Lock = TasLock>
+class ContentionSensitiveQueue {
+public:
+  using Value = typename Config::Value;
+
+  ContentionSensitiveQueue(std::uint32_t NumThreads, std::uint32_t Capacity)
+      : Weak(Capacity), Strong(NumThreads) {}
+
+  /// strong_enqueue(v): Done or Full, never Abort; always terminates.
+  PushResult enqueue(std::uint32_t Tid, Value V) {
+    return Strong.strongApply(Tid, [this, V]() -> std::optional<PushResult> {
+      const PushResult Res = Weak.weakEnqueue(V);
+      if (Res == PushResult::Abort)
+        return std::nullopt;
+      return Res;
+    });
+  }
+
+  /// strong_dequeue(): a value or Empty, never Abort; always terminates.
+  PopResult<Value> dequeue(std::uint32_t Tid) {
+    return Strong.strongApply(
+        Tid, [this]() -> std::optional<PopResult<Value>> {
+          const PopResult<Value> Res = Weak.weakDequeue();
+          if (Res.isAbort())
+            return std::nullopt;
+          return Res;
+        });
+  }
+
+  std::uint32_t capacity() const { return Weak.capacity(); }
+  std::uint32_t numThreads() const { return Strong.numThreads(); }
+  std::uint32_t sizeForTesting() const { return Weak.sizeForTesting(); }
+
+  AbortableQueue<Config> &abortable() { return Weak; }
+  ContentionSensitive<Lock> &skeleton() { return Strong; }
+
+private:
+  AbortableQueue<Config> Weak;
+  ContentionSensitive<Lock> Strong;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_CONTENTIONSENSITIVEQUEUE_H

@@ -1,0 +1,76 @@
+//===- core/NonBlockingQueue.h - Figure 2 applied to the queue --*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 2 retry construction over the abortable queue: enqueue and
+/// dequeue never surface bottom, they retry instead. Non-blocking by the
+/// same argument as the stack (an attempt only aborts because another
+/// operation's C&S on the same register succeeded).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_NONBLOCKINGQUEUE_H
+#define CSOBJ_CORE_NONBLOCKINGQUEUE_H
+
+#include "core/AbortableQueue.h"
+#include "core/NonBlockingStack.h"
+#include "support/Backoff.h"
+
+#include <cstdint>
+
+namespace csobj {
+
+/// Non-blocking bounded FIFO queue (Figure 2 over AbortableQueue).
+template <typename Config = Compact64, typename RetryPolicy = NoBackoff>
+class NonBlockingQueue {
+public:
+  using Value = typename Config::Value;
+
+  explicit NonBlockingQueue(std::uint32_t Capacity) : Inner(Capacity) {}
+
+  /// Retries weak_enqueue until it does not abort: Done or Full.
+  PushResult enqueue(Value V) { return enqueueCounting(V).Result; }
+
+  /// Retries weak_dequeue until it does not abort: a value or Empty.
+  PopResult<Value> dequeue() { return dequeueCounting().Result; }
+
+  Attempted<PushResult> enqueueCounting(Value V) {
+    RetryPolicy Policy;
+    Attempted<PushResult> Out{PushResult::Abort, 0};
+    while (true) {
+      Out.Result = Inner.weakEnqueue(V);
+      if (Out.Result != PushResult::Abort)
+        return Out;
+      ++Out.Retries;
+      Policy.onFailure();
+    }
+  }
+
+  Attempted<PopResult<Value>> dequeueCounting() {
+    RetryPolicy Policy;
+    Attempted<PopResult<Value>> Out{PopResult<Value>::abort(), 0};
+    while (true) {
+      Out.Result = Inner.weakDequeue();
+      if (!Out.Result.isAbort())
+        return Out;
+      ++Out.Retries;
+      Policy.onFailure();
+    }
+  }
+
+  std::uint32_t capacity() const { return Inner.capacity(); }
+  std::uint32_t sizeForTesting() const { return Inner.sizeForTesting(); }
+
+  /// The underlying abortable queue.
+  AbortableQueue<Config> &abortable() { return Inner; }
+
+private:
+  AbortableQueue<Config> Inner;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_NONBLOCKINGQUEUE_H

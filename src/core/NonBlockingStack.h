@@ -1,0 +1,102 @@
+//===- core/NonBlockingStack.h - The paper's Figure 2 -----------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 2: a linearizable *non-blocking* stack built on top of the
+/// abortable stack of Figure 1 by retrying aborted operations:
+///
+///     repeat res <- weak_push(v) until res != bottom; return res.
+///
+/// No operation ever aborts; instead it may loop. The construction is
+/// obstruction-free (a solo operation succeeds on its first attempt) and
+/// non-blocking: whatever the contention pattern, at least one concurrent
+/// operation terminates, because an attempt only aborts when some other
+/// operation's TOP C&S succeeded.
+///
+/// The retry policy is a template parameter: NoBackoff is the literal
+/// Figure 2; ExponentialBackoff is the natural contention-managed variant
+/// (ablation experiment E8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_NONBLOCKINGSTACK_H
+#define CSOBJ_CORE_NONBLOCKINGSTACK_H
+
+#include "core/AbortableStack.h"
+#include "support/Backoff.h"
+
+#include <cstdint>
+
+namespace csobj {
+
+/// Outcome of a non-blocking operation together with the number of
+/// aborted attempts that preceded it (0 = first try succeeded). Retry
+/// counts feed experiment E3.
+template <typename ResultT>
+struct Attempted {
+  ResultT Result;
+  std::uint64_t Retries = 0;
+};
+
+/// Figure 2: non-blocking bounded stack.
+///
+/// \tparam Config       codec family (Compact64 / Wide128), see Figure 1.
+/// \tparam RetryPolicy  NoBackoff (paper-literal) or ExponentialBackoff.
+template <typename Config = Compact64, typename RetryPolicy = NoBackoff>
+class NonBlockingStack {
+public:
+  using Value = typename Config::Value;
+  static constexpr Value Bottom = AbortableStack<Config>::Bottom;
+
+  explicit NonBlockingStack(std::uint32_t Capacity) : Inner(Capacity) {}
+
+  /// non_blocking_push(v): retries weak_push until it does not abort.
+  /// Returns Done or Full (never Abort).
+  PushResult push(Value V) { return pushCounting(V).Result; }
+
+  /// non_blocking_pop(): retries weak_pop until it does not abort.
+  /// Returns a value or Empty (never Abort).
+  PopResult<Value> pop() { return popCounting().Result; }
+
+  /// push plus the number of aborted attempts.
+  Attempted<PushResult> pushCounting(Value V) {
+    RetryPolicy Policy;
+    Attempted<PushResult> Out{PushResult::Abort, 0};
+    while (true) {
+      Out.Result = Inner.weakPush(V);
+      if (Out.Result != PushResult::Abort)
+        return Out;
+      ++Out.Retries;
+      Policy.onFailure();
+    }
+  }
+
+  /// pop plus the number of aborted attempts.
+  Attempted<PopResult<Value>> popCounting() {
+    RetryPolicy Policy;
+    Attempted<PopResult<Value>> Out{PopResult<Value>::abort(), 0};
+    while (true) {
+      Out.Result = Inner.weakPop();
+      if (!Out.Result.isAbort())
+        return Out;
+      ++Out.Retries;
+      Policy.onFailure();
+    }
+  }
+
+  std::uint32_t capacity() const { return Inner.capacity(); }
+  std::uint32_t sizeForTesting() const { return Inner.sizeForTesting(); }
+
+  /// The underlying Figure 1 object (shared with Figure 3 constructions).
+  AbortableStack<Config> &abortable() { return Inner; }
+
+private:
+  AbortableStack<Config> Inner;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_NONBLOCKINGSTACK_H

@@ -1,0 +1,256 @@
+//===- core/ObstructionFreeDeque.h - HLM deque (ref [8]) --------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Herlihy, Luchangco & Moir's array-based double-ended queue (ICDCS'03)
+/// — the very algorithm the paper cites (reference [8]) when it defines
+/// *obstruction-freedom*. Implemented in its linear bounded form, both as
+/// the original obstruction-free object (retry loops that are only
+/// guaranteed to terminate in solo execution) and as an *abortable*
+/// object (single attempts returning bottom on interference), which lets
+/// the paper's Figure 3 skeleton strengthen it to a starvation-free deque
+/// — completing the progress hierarchy of Section 1.2 end to end:
+///
+///     abortable / obstruction-free  (this file, tryX / retry loops)
+///       -> non-blocking             (NOT implied: HLM is a showcase of
+///                                    obstruction-free NOT non-blocking;
+///                                    two symmetric ops can abort each
+///                                    other forever under an adversary)
+///       -> starvation-free          (ContentionSensitiveDeque below)
+///
+/// Representation: an array of Capacity+2 slots, each a CASable
+/// <value, counter> word. The array always matches LN+ V* RN+ — a block
+/// of left-nulls, the deque's values, a block of right-nulls — with the
+/// outermost slots permanent sentinels. A right push locates the
+/// boundary (the "oracle" scan; accuracy optional, correctness comes
+/// from re-validation), bumps the counter of the last value slot to fence
+/// off interference, then CASes the first RN slot to the new value. Pops
+/// and left operations mirror. Each end reports Full *for that end*:
+/// the linear (non-circular) array cannot shift the value block, so the
+/// sequential specification is positional (lincheck/Spec.h's
+/// LinearDequeSpec).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_OBSTRUCTIONFREEDEQUE_H
+#define CSOBJ_CORE_OBSTRUCTIONFREEDEQUE_H
+
+#include "core/Results.h"
+#include "memory/AtomicRegister.h"
+#include "memory/TaggedValue.h"
+#include "support/SpinWait.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace csobj {
+
+/// HLM bounded deque over uint32 payloads (two values reserved for the
+/// left/right null markers).
+class ObstructionFreeDeque {
+public:
+  using Value = std::uint32_t;
+
+  /// Reserved markers: values pushed must be below LeftNull.
+  static constexpr Value LeftNull = 0xFFFFFFFEu;
+  static constexpr Value RightNull = 0xFFFFFFFFu;
+
+  /// \p Capacity usable slots. \p InitialLeftSlots of the free slots
+  /// start on the left side (they bound how many left pushes fit before
+  /// the left end reports full); defaults to an even split.
+  explicit ObstructionFreeDeque(std::uint32_t Capacity,
+                                std::uint32_t InitialLeftSlots =
+                                    ~std::uint32_t{0})
+      : Slots(Capacity + 2),
+        LeftCount(InitialLeftSlots == ~std::uint32_t{0} ? Capacity / 2
+                                                        : InitialLeftSlots),
+        Array(new AtomicRegister<std::uint64_t>[Capacity + 2]) {
+    assert(Capacity >= 1 && "deque capacity must be positive");
+    assert(LeftCount <= Capacity && "more left slots than capacity");
+    // A[0..LeftCount] hold LN (A[0] is the permanent left sentinel);
+    // the rest hold RN (A[Slots-1] the permanent right sentinel).
+    for (std::uint32_t I = 0; I < Slots; ++I)
+      Array[I].write(Codec::pack({I <= LeftCount ? LeftNull : RightNull,
+                                  /*Seq=*/0}));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Abortable single attempts (bottom = Abort on any interference)
+  //===--------------------------------------------------------------------===
+
+  /// One right-push attempt: Done, Full (right end exhausted), or Abort.
+  PushResult tryPushRight(Value V) {
+    assert(V < LeftNull && "value collides with a null marker");
+    const std::uint32_t K = rightOracle();
+    const std::uint64_t Prev = Array[K - 1].read();
+    const std::uint64_t Cur = Array[K].read();
+    if (valueOf(Prev) == RightNull || valueOf(Cur) != RightNull)
+      return PushResult::Abort; // Oracle raced with another operation.
+    // Validated full test (after the reads, as in HLM): the slot right
+    // of the last value is the permanent sentinel, so at the instant
+    // Prev was read the right side was exhausted.
+    if (K == Slots - 1)
+      return PushResult::Full;
+    // Fence the neighbour (counter bump), then install the value.
+    if (!Array[K - 1].compareAndSwap(Prev, bumped(Prev)))
+      return PushResult::Abort;
+    if (!Array[K].compareAndSwap(Cur,
+                                 Codec::pack({V, seqOf(Cur) + 1})))
+      return PushResult::Abort;
+    return PushResult::Done;
+  }
+
+  /// One right-pop attempt: value, Empty, or Abort.
+  PopResult<Value> tryPopRight() {
+    const std::uint32_t K = rightOracle();
+    const std::uint64_t Cur = Array[K - 1].read();
+    const std::uint64_t Next = Array[K].read();
+    if (valueOf(Cur) == RightNull || valueOf(Next) != RightNull)
+      return PopResult<Value>::abort();
+    if (valueOf(Cur) == LeftNull) {
+      // Empty candidate: the <LN, RN> pair must be simultaneous — the
+      // re-read certifies the snapshot (HLM's linearization of EMPTY).
+      if (Array[K - 1].read() == Cur)
+        return PopResult<Value>::empty();
+      return PopResult<Value>::abort();
+    }
+    if (!Array[K].compareAndSwap(Next, bumped(Next)))
+      return PopResult<Value>::abort();
+    if (!Array[K - 1].compareAndSwap(
+            Cur, Codec::pack({RightNull, seqOf(Cur) + 1})))
+      return PopResult<Value>::abort(); // Harmless: only a fence moved.
+    return PopResult<Value>::value(valueOf(Cur));
+  }
+
+  /// One left-push attempt: Done, Full (left end exhausted), or Abort.
+  PushResult tryPushLeft(Value V) {
+    assert(V < LeftNull && "value collides with a null marker");
+    const std::uint32_t K = leftOracle();
+    const std::uint64_t Prev = Array[K + 1].read();
+    const std::uint64_t Cur = Array[K].read();
+    if (valueOf(Prev) == LeftNull || valueOf(Cur) != LeftNull)
+      return PushResult::Abort;
+    if (K == 0)
+      return PushResult::Full; // Validated: left side exhausted.
+    if (!Array[K + 1].compareAndSwap(Prev, bumped(Prev)))
+      return PushResult::Abort;
+    if (!Array[K].compareAndSwap(Cur,
+                                 Codec::pack({V, seqOf(Cur) + 1})))
+      return PushResult::Abort;
+    return PushResult::Done;
+  }
+
+  /// One left-pop attempt: value, Empty, or Abort.
+  PopResult<Value> tryPopLeft() {
+    const std::uint32_t K = leftOracle();
+    const std::uint64_t Cur = Array[K + 1].read();
+    const std::uint64_t Next = Array[K].read();
+    if (valueOf(Cur) == LeftNull || valueOf(Next) != LeftNull)
+      return PopResult<Value>::abort();
+    if (valueOf(Cur) == RightNull) {
+      if (Array[K + 1].read() == Cur)
+        return PopResult<Value>::empty();
+      return PopResult<Value>::abort();
+    }
+    if (!Array[K].compareAndSwap(Next, bumped(Next)))
+      return PopResult<Value>::abort();
+    if (!Array[K + 1].compareAndSwap(
+            Cur, Codec::pack({LeftNull, seqOf(Cur) + 1})))
+      return PopResult<Value>::abort();
+    return PopResult<Value>::value(valueOf(Cur));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Obstruction-free operations (the original HLM interface): retry the
+  // attempt until it is not bottom. Termination is guaranteed only for a
+  // process that eventually runs solo — exactly obstruction-freedom.
+  //===--------------------------------------------------------------------===
+
+  PushResult pushRight(Value V) { return retryPush([&] { return tryPushRight(V); }); }
+  PushResult pushLeft(Value V) { return retryPush([&] { return tryPushLeft(V); }); }
+  PopResult<Value> popRight() { return retryPop([&] { return tryPopRight(); }); }
+  PopResult<Value> popLeft() { return retryPop([&] { return tryPopLeft(); }); }
+
+  /// Usable capacity (excludes the two sentinels).
+  std::uint32_t capacity() const { return Slots - 2; }
+
+  /// Left free slots at construction (positional spec parameter).
+  std::uint32_t initialLeftSlots() const { return LeftCount; }
+
+  /// Element count; exact only when quiescent (test/debug aid).
+  std::uint32_t sizeForTesting() const {
+    std::uint32_t Count = 0;
+    for (std::uint32_t I = 1; I + 1 < Slots; ++I) {
+      const Value V = valueOf(Array[I].peekForTesting());
+      if (V != LeftNull && V != RightNull)
+        ++Count;
+    }
+    return Count;
+  }
+
+private:
+  // Each slot packs <value:32, counter:32>; the counter is the HLM
+  // version number that fences concurrent operations (same role as the
+  // paper's Section 2.2 tags).
+  using Codec = SlotCodec<std::uint64_t, 32, std::uint32_t>;
+
+  static Value valueOf(std::uint64_t W) { return Codec::unpack(W).Value; }
+  static std::uint32_t seqOf(std::uint64_t W) {
+    return Codec::unpack(W).Seq;
+  }
+  static std::uint64_t bumped(std::uint64_t W) {
+    const SlotFields<Value> F = Codec::unpack(W);
+    return Codec::pack({F.Value, F.Seq + 1});
+  }
+
+  /// Index of the leftmost slot currently holding RN. The scan may be
+  /// stale; every caller re-validates, so only performance depends on it.
+  std::uint32_t rightOracle() const {
+    for (std::uint32_t I = 1; I < Slots; ++I)
+      if (valueOf(Array[I].read()) == RightNull)
+        return I;
+    return Slots - 1; // Unreachable under the invariant; validated anyway.
+  }
+
+  /// Index of the rightmost slot currently holding LN.
+  std::uint32_t leftOracle() const {
+    for (std::uint32_t I = Slots - 1; I > 0; --I)
+      if (valueOf(Array[I - 1].read()) == LeftNull)
+        return I - 1;
+    return 0;
+  }
+
+  template <typename AttemptFn>
+  PushResult retryPush(AttemptFn Attempt) {
+    SpinWait Waiter;
+    while (true) {
+      const PushResult Res = Attempt();
+      if (Res != PushResult::Abort)
+        return Res;
+      Waiter.once();
+    }
+  }
+
+  template <typename AttemptFn>
+  PopResult<Value> retryPop(AttemptFn Attempt) {
+    SpinWait Waiter;
+    while (true) {
+      const PopResult<Value> Res = Attempt();
+      if (!Res.isAbort())
+        return Res;
+      Waiter.once();
+    }
+  }
+
+  const std::uint32_t Slots;
+  const std::uint32_t LeftCount;
+  std::unique_ptr<AtomicRegister<std::uint64_t>[]> Array;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_OBSTRUCTIONFREEDEQUE_H

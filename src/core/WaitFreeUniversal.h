@@ -1,0 +1,345 @@
+//===- core/WaitFreeUniversal.h - Wait-free universal object ----*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top rung of the paper's progress ladder. Footnote 1 and Section 5
+/// point past starvation-freedom to *wait-freedom* (Herlihy [7]): every
+/// process completes every operation in a bounded number of its own
+/// steps, regardless of what the others do — including crashing. This
+/// header implements a Herlihy-style universal construction for small
+/// copyable objects:
+///
+///  * each process announces its next operation in a single-word
+///    register (a per-process sequence number makes announcements
+///    idempotent);
+///  * an operation attempt copies the current state (from a
+///    version-validated buffer), applies EVERY announced-but-unapplied
+///    operation into a private buffer — recording per-process results
+///    inside the state — and tries to swing one CAS-managed "current
+///    state" pointer;
+///  * if the CAS fails, some other process succeeded, and any successful
+///    swing that started after our announcement has applied our
+///    operation for us. At most two foreign swings can miss the
+///    announcement, so every operation completes within three attempts —
+///    the classic wait-freedom bound.
+///
+/// Buffers are thread-owned and seqlock-validated (the single writer
+/// bumps the version to odd, writes, bumps to even; readers re-check),
+/// so reclamation is free: a process reuses its own two buffers
+/// alternately and a stale reader simply fails validation.
+///
+/// Trade-off vs Figure 3 (measured in E11): every operation — even a
+/// solo one — pays a full state copy plus an O(n) announcement scan, so
+/// this is NOT contention-sensitive. It exists to complete the
+/// hierarchy: obstruction-free (HLM deque) < non-blocking (Fig. 2) <
+/// starvation-free (Fig. 3) < wait-free (this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_WAITFREEUNIVERSAL_H
+#define CSOBJ_CORE_WAITFREEUNIVERSAL_H
+
+#include "core/Results.h"
+#include "memory/AtomicRegister.h"
+#include "support/BitPack.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+namespace csobj {
+
+/// Wait-free universal construction over a small copyable state.
+///
+/// \tparam StateT     trivially copyable sequential state.
+/// \tparam ApplierT   stateless policy with
+///                    `static std::uint64_t apply(StateT &, std::uint8_t
+///                    Kind, std::uint32_t Arg)` — the sequential
+///                    specification; the return value is delivered to the
+///                    invoking process.
+/// \tparam MaxThreads compile-time bound on the paper's n.
+template <typename StateT, typename ApplierT, std::uint32_t MaxThreads = 8>
+class WaitFreeUniversal {
+  static_assert(std::is_trivially_copyable_v<StateT>,
+                "universal construction copies the state wholesale");
+
+public:
+  explicit WaitFreeUniversal(std::uint32_t NumThreads,
+                             const StateT &Initial = StateT{})
+      : N(NumThreads) {
+    assert(NumThreads >= 1 && NumThreads <= MaxThreads &&
+           "thread count out of range");
+    // Buffer 0 of process 0 holds the initial state; all versions even.
+    Packed Init{};
+    Init.User = Initial;
+    Buffers[0].value().store(Init);
+    Current.write(PtrCodec::pack(/*BufIdx=*/0, /*Tag=*/0));
+    for (std::uint32_t I = 0; I < MaxThreads; ++I) {
+      Announce[I].value().write(0);
+      NextFree[I] = 1; // Process 0's buffer 0 is live; all others free.
+    }
+    NextFree[0] = 1;
+  }
+
+  /// Executes one operation; wait-free (at most three swing attempts
+  /// after the announcement, see file comment). Returns ApplierT's
+  /// result for this operation.
+  std::uint64_t invoke(std::uint32_t Tid, std::uint8_t Kind,
+                       std::uint32_t Arg) {
+    assert(Tid < N && "thread id out of range");
+    const std::uint32_t MySeq = ++LocalSeq[Tid];
+    assert(MySeq <= AnnCodec::maxSeq() && "per-process op budget exhausted");
+    Announce[Tid].value().write(AnnCodec::pack(MySeq, Kind, Arg));
+
+    while (true) {
+      const std::uint64_t Cur = Current.read();
+      Packed Snapshot;
+      if (!Buffers[PtrCodec::bufOf(Cur)].value().load(Snapshot))
+        continue; // Torn read: the buffer moved on, so did Current.
+      // Re-validate the pointer: a stale Cur could name a buffer its
+      // owner has since reused for a *speculative* (never-committed)
+      // state. An owner never writes a buffer while it is current, so
+      // "copy valid AND Current unchanged" certifies a committed state.
+      if (Current.read() != Cur)
+        continue;
+      if (Snapshot.AppliedSeq[Tid] >= MySeq)
+        return Snapshot.LastResult[Tid]; // Someone applied us: done.
+
+      // Apply every announced-but-unapplied operation (including ours).
+      for (std::uint32_t J = 0; J < N; ++J) {
+        const std::uint64_t Ann = Announce[J].value().read();
+        const std::uint32_t Seq = AnnCodec::seqOf(Ann);
+        if (Seq == Snapshot.AppliedSeq[J] + 1) {
+          Snapshot.LastResult[J] = ApplierT::apply(
+              Snapshot.User, AnnCodec::kindOf(Ann), AnnCodec::argOf(Ann));
+          Snapshot.AppliedSeq[J] = Seq;
+        }
+      }
+
+      // Publish from one of our own buffers and try to swing Current.
+      const std::uint32_t MyBuf = 2 * Tid + (NextFree[Tid] & 1);
+      Buffers[MyBuf].value().store(Snapshot);
+      if (Current.compareAndSwap(
+              Cur, PtrCodec::pack(MyBuf, PtrCodec::tagOf(Cur) + 1))) {
+        NextFree[Tid] ^= 1; // The other buffer is free next time.
+        return Snapshot.LastResult[Tid];
+      }
+      // Lost the swing: the winner (or the next one) applied us.
+    }
+  }
+
+  std::uint32_t numThreads() const { return N; }
+
+  /// Copy of the current sequential state (test/debug aid).
+  StateT stateForTesting() const {
+    while (true) {
+      const std::uint64_t Cur = Current.peekForTesting();
+      Packed Snapshot;
+      if (Buffers[PtrCodec::bufOf(Cur)].value().load(Snapshot) &&
+          Current.peekForTesting() == Cur)
+        return Snapshot.User;
+    }
+  }
+
+private:
+  /// Whole-object state: user state + per-process applied table and
+  /// result slots (results must live in the state so that a lost swing
+  /// still delivers them exactly once).
+  struct Packed {
+    StateT User{};
+    std::uint32_t AppliedSeq[MaxThreads] = {};
+    std::uint64_t LastResult[MaxThreads] = {};
+  };
+
+  /// Announcement word: seq:24 | kind:8 | arg:32 (per-process sequence
+  /// numbers cap at ~16M operations; asserted).
+  struct AnnCodec {
+    using SeqF = BitField<std::uint64_t, 40, 24>;
+    using KindF = BitField<std::uint64_t, 32, 8>;
+    using ArgF = BitField<std::uint64_t, 0, 32>;
+    static std::uint64_t pack(std::uint32_t Seq, std::uint8_t Kind,
+                              std::uint32_t Arg) {
+      return SeqF::encode(Seq) | KindF::encode(Kind) | ArgF::encode(Arg);
+    }
+    static std::uint32_t seqOf(std::uint64_t W) {
+      return static_cast<std::uint32_t>(SeqF::get(W));
+    }
+    static std::uint8_t kindOf(std::uint64_t W) {
+      return static_cast<std::uint8_t>(KindF::get(W));
+    }
+    static std::uint32_t argOf(std::uint64_t W) {
+      return static_cast<std::uint32_t>(ArgF::get(W));
+    }
+    static constexpr std::uint32_t maxSeq() {
+      return static_cast<std::uint32_t>(SeqF::maxValue());
+    }
+  };
+
+  /// Current-state word: buffer index + ABA tag.
+  struct PtrCodec {
+    using Pair = PackedPair<std::uint64_t, 32, 32>;
+    static std::uint64_t pack(std::uint32_t Buf, std::uint32_t Tag) {
+      return Pair::pack(Buf, Tag);
+    }
+    static std::uint32_t bufOf(std::uint64_t W) {
+      return static_cast<std::uint32_t>(Pair::a(W));
+    }
+    static std::uint32_t tagOf(std::uint64_t W) {
+      return static_cast<std::uint32_t>(Pair::b(W));
+    }
+  };
+
+  /// Seqlock-protected buffer: one writer (the owning process), any
+  /// number of validating readers.
+  class Buffer {
+  public:
+    /// Single-writer publish.
+    void store(const Packed &Value) {
+      const std::uint32_t V = Version.load(std::memory_order_relaxed);
+      Version.store(V + 1, std::memory_order_release); // Odd: writing.
+      std::uint64_t Raw[Words];
+      std::memcpy(Raw, &Value, sizeof(Packed));
+      for (std::size_t W = 0; W < Words; ++W)
+        Data[W].store(Raw[W], std::memory_order_relaxed);
+      Version.store(V + 2, std::memory_order_release); // Even: stable.
+    }
+
+    /// Validated read; false when torn by a concurrent store.
+    bool load(Packed &Out) const {
+      const std::uint32_t V1 = Version.load(std::memory_order_acquire);
+      if (V1 & 1)
+        return false;
+      std::uint64_t Raw[Words];
+      for (std::size_t W = 0; W < Words; ++W)
+        Raw[W] = Data[W].load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (Version.load(std::memory_order_relaxed) != V1)
+        return false;
+      std::memcpy(&Out, Raw, sizeof(Packed));
+      return true;
+    }
+
+  private:
+    static constexpr std::size_t Words =
+        (sizeof(Packed) + sizeof(std::uint64_t) - 1) /
+        sizeof(std::uint64_t);
+
+    std::atomic<std::uint32_t> Version{0};
+    std::atomic<std::uint64_t> Data[Words] = {};
+  };
+
+  const std::uint32_t N;
+  AtomicRegister<std::uint64_t> Current;
+  CacheLinePadded<AtomicRegister<std::uint64_t>> Announce[MaxThreads];
+  CacheLinePadded<Buffer> Buffers[2 * MaxThreads];
+  std::uint32_t LocalSeq[MaxThreads] = {};  ///< Thread-owned.
+  std::uint32_t NextFree[MaxThreads] = {};  ///< Thread-owned.
+};
+
+//===----------------------------------------------------------------------===
+// Instantiations: wait-free counter and wait-free bounded stack
+//===----------------------------------------------------------------------===
+
+/// Sequential spec of a saturating counter for the universal object.
+struct CounterApplier {
+  static constexpr std::uint8_t KindAdd = 0;
+  struct State {
+    std::uint64_t Value = 0;
+  };
+  static std::uint64_t apply(State &S, std::uint8_t Kind,
+                             std::uint32_t Arg) {
+    assert(Kind == KindAdd && "unknown counter operation");
+    (void)Kind;
+    S.Value += Arg;
+    return S.Value;
+  }
+};
+
+/// Wait-free counter: add returns the new value.
+template <std::uint32_t MaxThreads = 8>
+class WaitFreeCounter {
+public:
+  explicit WaitFreeCounter(std::uint32_t NumThreads) : Core(NumThreads) {}
+
+  std::uint64_t add(std::uint32_t Tid, std::uint32_t Delta) {
+    return Core.invoke(Tid, CounterApplier::KindAdd, Delta);
+  }
+
+  std::uint64_t valueForTesting() const {
+    return Core.stateForTesting().Value;
+  }
+
+private:
+  WaitFreeUniversal<CounterApplier::State, CounterApplier, MaxThreads> Core;
+};
+
+/// Sequential spec of a small bounded stack for the universal object.
+/// Results pack code:32 | value:32 (codes below).
+template <std::uint32_t CapacityK>
+struct StackApplier {
+  static constexpr std::uint8_t KindPush = 0;
+  static constexpr std::uint8_t KindPop = 1;
+  static constexpr std::uint64_t CodeDone = 0;
+  static constexpr std::uint64_t CodeFull = 1;
+  static constexpr std::uint64_t CodeEmpty = 2;
+  static constexpr std::uint64_t CodeValue = 3;
+
+  struct State {
+    std::uint32_t Size = 0;
+    std::uint32_t Items[CapacityK] = {};
+  };
+
+  static std::uint64_t apply(State &S, std::uint8_t Kind,
+                             std::uint32_t Arg) {
+    if (Kind == KindPush) {
+      if (S.Size == CapacityK)
+        return CodeFull << 32;
+      S.Items[S.Size++] = Arg;
+      return CodeDone << 32;
+    }
+    if (S.Size == 0)
+      return CodeEmpty << 32;
+    return (CodeValue << 32) | S.Items[--S.Size];
+  }
+};
+
+/// Wait-free bounded stack of compile-time capacity.
+template <std::uint32_t CapacityK, std::uint32_t MaxThreads = 8>
+class WaitFreeStack {
+public:
+  using Applier = StackApplier<CapacityK>;
+
+  explicit WaitFreeStack(std::uint32_t NumThreads) : Core(NumThreads) {}
+
+  PushResult push(std::uint32_t Tid, std::uint32_t V) {
+    const std::uint64_t R = Core.invoke(Tid, Applier::KindPush, V);
+    return (R >> 32) == Applier::CodeFull ? PushResult::Full
+                                          : PushResult::Done;
+  }
+
+  PopResult<std::uint32_t> pop(std::uint32_t Tid) {
+    const std::uint64_t R = Core.invoke(Tid, Applier::KindPop, 0);
+    if ((R >> 32) == Applier::CodeEmpty)
+      return PopResult<std::uint32_t>::empty();
+    return PopResult<std::uint32_t>::value(
+        static_cast<std::uint32_t>(R));
+  }
+
+  std::uint32_t sizeForTesting() const {
+    return Core.stateForTesting().Size;
+  }
+
+private:
+  WaitFreeUniversal<typename Applier::State, Applier, MaxThreads> Core;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_WAITFREEUNIVERSAL_H

@@ -1,0 +1,164 @@
+//===- lincheck/Checker.cpp - Sequential spec implementations ------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lincheck/Spec.h"
+
+namespace csobj {
+
+bool BoundedStackSpec::apply(const Operation &Op) {
+  if (Op.Code == OpCode::Push) {
+    if (Op.Result == ResCode::Done) {
+      if (Contents.size() >= Capacity)
+        return false;
+      Contents.push_back(Op.Arg);
+      return true;
+    }
+    // Full answer is legal only at capacity.
+    return Op.Result == ResCode::Full && Contents.size() == Capacity;
+  }
+  // Pop.
+  if (Op.Result == ResCode::Value) {
+    if (Contents.empty() || Contents.back() != Op.RetValue)
+      return false;
+    Contents.pop_back();
+    return true;
+  }
+  return Op.Result == ResCode::Empty && Contents.empty();
+}
+
+std::string BoundedStackSpec::key() const {
+  std::string Key;
+  Key.reserve(Contents.size() * 4);
+  for (std::uint32_t V : Contents)
+    Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
+  return Key;
+}
+
+bool BoundedDequeSpec::apply(const Operation &Op) {
+  switch (Op.Code) {
+  case OpCode::PushLeft:
+  case OpCode::PushRight:
+    if (Op.Result == ResCode::Done) {
+      if (Contents.size() >= Capacity)
+        return false;
+      if (Op.Code == OpCode::PushLeft)
+        Contents.push_front(Op.Arg);
+      else
+        Contents.push_back(Op.Arg);
+      return true;
+    }
+    return Op.Result == ResCode::Full && Contents.size() == Capacity;
+  case OpCode::PopLeft:
+    if (Op.Result == ResCode::Value) {
+      if (Contents.empty() || Contents.front() != Op.RetValue)
+        return false;
+      Contents.pop_front();
+      return true;
+    }
+    return Op.Result == ResCode::Empty && Contents.empty();
+  case OpCode::PopRight:
+    if (Op.Result == ResCode::Value) {
+      if (Contents.empty() || Contents.back() != Op.RetValue)
+        return false;
+      Contents.pop_back();
+      return true;
+    }
+    return Op.Result == ResCode::Empty && Contents.empty();
+  case OpCode::Push:
+  case OpCode::Pop:
+    return false; // Wrong operation model for a deque history.
+  }
+  return false;
+}
+
+std::string BoundedDequeSpec::key() const {
+  std::string Key;
+  Key.reserve(Contents.size() * 4);
+  for (std::uint32_t V : Contents)
+    Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
+  return Key;
+}
+
+bool LinearDequeSpec::apply(const Operation &Op) {
+  switch (Op.Code) {
+  case OpCode::PushLeft:
+    if (Op.Result == ResCode::Done) {
+      if (LeftFree == 0)
+        return false;
+      Contents.push_front(Op.Arg);
+      --LeftFree;
+      return true;
+    }
+    return Op.Result == ResCode::Full && LeftFree == 0;
+  case OpCode::PushRight:
+    if (Op.Result == ResCode::Done) {
+      if (rightFree() == 0)
+        return false;
+      Contents.push_back(Op.Arg);
+      return true;
+    }
+    return Op.Result == ResCode::Full && rightFree() == 0;
+  case OpCode::PopLeft:
+    if (Op.Result == ResCode::Value) {
+      if (Contents.empty() || Contents.front() != Op.RetValue)
+        return false;
+      Contents.pop_front();
+      ++LeftFree;
+      return true;
+    }
+    return Op.Result == ResCode::Empty && Contents.empty();
+  case OpCode::PopRight:
+    if (Op.Result == ResCode::Value) {
+      if (Contents.empty() || Contents.back() != Op.RetValue)
+        return false;
+      Contents.pop_back();
+      return true;
+    }
+    return Op.Result == ResCode::Empty && Contents.empty();
+  case OpCode::Push:
+  case OpCode::Pop:
+    return false;
+  }
+  return false;
+}
+
+std::string LinearDequeSpec::key() const {
+  std::string Key;
+  Key.reserve(Contents.size() * 4 + 4);
+  Key.append(reinterpret_cast<const char *>(&LeftFree), sizeof(LeftFree));
+  for (std::uint32_t V : Contents)
+    Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
+  return Key;
+}
+
+bool BoundedQueueSpec::apply(const Operation &Op) {
+  if (Op.Code == OpCode::Push) {
+    if (Op.Result == ResCode::Done) {
+      if (Contents.size() >= Capacity)
+        return false;
+      Contents.push_back(Op.Arg);
+      return true;
+    }
+    return Op.Result == ResCode::Full && Contents.size() == Capacity;
+  }
+  if (Op.Result == ResCode::Value) {
+    if (Contents.empty() || Contents.front() != Op.RetValue)
+      return false;
+    Contents.pop_front();
+    return true;
+  }
+  return Op.Result == ResCode::Empty && Contents.empty();
+}
+
+std::string BoundedQueueSpec::key() const {
+  std::string Key;
+  Key.reserve(Contents.size() * 4);
+  for (std::uint32_t V : Contents)
+    Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
+  return Key;
+}
+
+} // namespace csobj

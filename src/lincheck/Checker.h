@@ -1,0 +1,121 @@
+//===- lincheck/Checker.h - Wing & Gong linearizability check ---*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decision procedure for linearizability of a recorded history against a
+/// sequential specification: the Wing & Gong depth-first search with the
+/// Lowe memoization refinement (caching visited <taken-set, spec-state>
+/// configurations). Exponential in the worst case, fast on the short
+/// histories the stress tests produce.
+///
+/// An operation is a *candidate* for the next linearization point iff no
+/// other pending operation responded before it was invoked (real-time
+/// order must be respected, per Herlihy & Wing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_LINCHECK_CHECKER_H
+#define CSOBJ_LINCHECK_CHECKER_H
+
+#include "lincheck/History.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace csobj {
+
+/// Outcome of a linearizability check.
+struct CheckResult {
+  bool Linearizable = false;
+  bool HitSearchCap = false;       ///< Search aborted: result inconclusive.
+  std::uint64_t StatesExplored = 0;
+  std::string FailureNote;
+};
+
+/// Checks \p H against spec \p Initial (copied per branch). Histories are
+/// limited to 64 operations — callers segment longer runs into rounds.
+/// \p SearchCap bounds explored configurations.
+template <typename Spec>
+CheckResult checkLinearizable(const History &H, Spec Initial,
+                              std::uint64_t SearchCap = 4'000'000) {
+  CheckResult Result;
+  const std::size_t N = H.Ops.size();
+  assert(N <= 64 && "segment histories into <= 64 operations");
+  if (N == 0) {
+    Result.Linearizable = true;
+    return Result;
+  }
+
+  std::unordered_set<std::string> Visited;
+
+  struct Frame {
+    std::uint64_t TakenMask;
+    Spec State;
+    std::size_t NextCandidate;
+  };
+
+  std::vector<Frame> Stack;
+  Stack.push_back(Frame{0, Initial, 0});
+
+  const std::uint64_t FullMask =
+      N == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << N) - 1);
+
+  auto IsCandidate = [&](std::uint64_t Taken, std::size_t I) {
+    if (Taken & (std::uint64_t{1} << I))
+      return false;
+    // Real-time order: some untaken J responded before I was invoked?
+    for (std::size_t J = 0; J < N; ++J) {
+      if (J == I || (Taken & (std::uint64_t{1} << J)))
+        continue;
+      if (H.Ops[J].ResponseNs < H.Ops[I].InvokeNs)
+        return false;
+    }
+    return true;
+  };
+
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.TakenMask == FullMask) {
+      Result.Linearizable = true;
+      return Result;
+    }
+    if (++Result.StatesExplored > SearchCap) {
+      Result.HitSearchCap = true;
+      Result.FailureNote = "search cap exceeded";
+      return Result;
+    }
+
+    bool Descended = false;
+    for (std::size_t I = Top.NextCandidate; I < N; ++I) {
+      if (!IsCandidate(Top.TakenMask, I))
+        continue;
+      Spec Next = Top.State;
+      if (!Next.apply(H.Ops[I]))
+        continue;
+      const std::uint64_t NextMask = Top.TakenMask | (std::uint64_t{1} << I);
+      std::string Key = std::to_string(NextMask) + '/' + Next.key();
+      if (!Visited.insert(std::move(Key)).second)
+        continue; // Configuration already explored fruitlessly.
+      Top.NextCandidate = I + 1;
+      Stack.push_back(Frame{NextMask, std::move(Next), 0});
+      Descended = true;
+      break;
+    }
+    if (!Descended)
+      Stack.pop_back();
+  }
+
+  Result.Linearizable = false;
+  Result.FailureNote = "no linearization order exists:\n" + H.describe();
+  return Result;
+}
+
+} // namespace csobj
+
+#endif // CSOBJ_LINCHECK_CHECKER_H

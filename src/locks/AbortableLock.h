@@ -1,0 +1,77 @@
+//===- locks/AbortableLock.h - Abortable mutual exclusion -------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abortable mutual exclusion in the sense the paper attributes to
+/// Jayanti [13]: "at any time while it is executing its entry code, a
+/// process can stop competing for the critical section and this halting
+/// has not to alter the liveness of the other critical section requests".
+///
+/// A TTAS lock satisfies this definition structurally — a waiter holds no
+/// queue state, so walking away leaves no trace. (Queue locks like MCS
+/// need the heavy machinery of [13] to unlink aborted waiters; offering
+/// the TTAS form keeps the abortable-object theme of the paper concrete
+/// without replicating that paper.) The entry code here takes an explicit
+/// attempt budget; exhausting it returns false, the lock analogue of the
+/// stack's bottom.
+///
+/// The abortable lock composes with the paper's machinery: it *is* an
+/// abortable object, so ContentionSensitive can strengthen a critical
+/// section built from it, and StarvationFreeLock can wrap its blocking
+/// form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_LOCKS_ABORTABLELOCK_H
+#define CSOBJ_LOCKS_ABORTABLELOCK_H
+
+#include "memory/AtomicRegister.h"
+#include "support/SpinWait.h"
+
+#include <cstdint>
+
+namespace csobj {
+
+/// TTAS-based abortable lock.
+class AbortableTtasLock {
+public:
+  static constexpr const char *Name = "abortable-ttas";
+
+  explicit AbortableTtasLock(std::uint32_t /*NumThreads*/ = 0) {}
+
+  /// Entry code with an abort budget: at most \p MaxAttempts probe
+  /// rounds. Returns true when the lock is held; false when the attempt
+  /// was abandoned (no effect on other waiters — the paper's abortable
+  /// mutual exclusion contract).
+  bool tryLock(std::uint32_t /*Tid*/, std::uint32_t MaxAttempts) {
+    SpinWait Waiter;
+    for (std::uint32_t Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+      if (Held.read() == 0 && Held.exchange(1) == 0)
+        return true;
+      Waiter.once();
+    }
+    return false;
+  }
+
+  /// Blocking entry (the LockConcept shape): retry the abortable entry
+  /// until it succeeds.
+  void lock(std::uint32_t Tid) {
+    while (!tryLock(Tid, 64)) {
+    }
+  }
+
+  void unlock(std::uint32_t /*Tid*/ = 0) { Held.write(0); }
+
+  /// Whether the lock is currently held (test/debug aid).
+  bool heldForTesting() const { return Held.peekForTesting() != 0; }
+
+private:
+  AtomicRegister<std::uint8_t> Held{0};
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_LOCKS_ABORTABLELOCK_H

@@ -1,0 +1,76 @@
+//===- locks/LockTraits.h - Common lock interface ---------------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interface contract and small utilities shared by every lock in the
+/// substrate. All csobj locks follow one shape so that Figure 3 and the
+/// Section 4.4 transformation can be instantiated over any of them:
+///
+///     explicit L(std::uint32_t NumThreads);   // paper's n
+///     void lock(std::uint32_t Tid);           // Tid in [0, NumThreads)
+///     void unlock(std::uint32_t Tid);
+///     static constexpr const char *Name;      // for benchmark tables
+///
+/// Locks that do not need per-process state (TAS, TTAS, ticket) simply
+/// ignore both parameters. The LockConcept below checks the shape at
+/// compile time; ScopedLock is the RAII convenience.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_LOCKS_LOCKTRAITS_H
+#define CSOBJ_LOCKS_LOCKTRAITS_H
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+namespace csobj {
+
+/// Compile-time contract for csobj locks.
+template <typename L>
+concept LockConcept = requires(L Lock, std::uint32_t Tid) {
+  L(std::uint32_t{1});
+  Lock.lock(Tid);
+  Lock.unlock(Tid);
+  { L::Name } -> std::convertible_to<const char *>;
+};
+
+/// RAII guard over any csobj lock.
+template <typename L>
+class ScopedLock {
+public:
+  ScopedLock(L &Lock, std::uint32_t Tid) : Lock(Lock), Tid(Tid) {
+    Lock.lock(Tid);
+  }
+
+  ScopedLock(const ScopedLock &) = delete;
+  ScopedLock &operator=(const ScopedLock &) = delete;
+
+  ~ScopedLock() { Lock.unlock(Tid); }
+
+private:
+  L &Lock;
+  std::uint32_t Tid;
+};
+
+/// Adapter giving std::mutex the csobj lock shape, so the OS-provided
+/// lock can appear in the same benchmark tables as the literature locks.
+class StdMutexLock {
+public:
+  static constexpr const char *Name = "std::mutex";
+
+  explicit StdMutexLock(std::uint32_t /*NumThreads*/) {}
+
+  void lock(std::uint32_t /*Tid*/) { Mutex.lock(); }
+  void unlock(std::uint32_t /*Tid*/) { Mutex.unlock(); }
+
+private:
+  std::mutex Mutex;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_LOCKS_LOCKTRAITS_H

@@ -1,0 +1,83 @@
+//===- locks/McsLock.h - MCS queue lock -------------------------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mellor-Crummey & Scott queue lock. Each waiter spins on its own cache
+/// line; handoff is FIFO, so the lock is starvation-free. Queue nodes are
+/// preallocated per process id (the paper's p_1..p_n model makes this
+/// natural), so the lock is allocation-free after construction. Node
+/// links are stored as id+1 with 0 meaning "null" so they fit atomic
+/// registers without pointer tagging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_LOCKS_MCSLOCK_H
+#define CSOBJ_LOCKS_MCSLOCK_H
+
+#include "memory/AtomicRegister.h"
+#include "support/CacheLine.h"
+#include "support/SpinWait.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace csobj {
+
+/// MCS list-based queue lock over dense thread ids.
+class McsLock {
+public:
+  static constexpr const char *Name = "mcs";
+
+  explicit McsLock(std::uint32_t NumThreads)
+      : N(NumThreads), Nodes(new CacheLinePadded<Node>[NumThreads]) {
+    assert(NumThreads >= 1 && "MCS lock needs at least one process");
+  }
+
+  void lock(std::uint32_t Tid) {
+    assert(Tid < N && "thread id out of range");
+    Node &Mine = Nodes[Tid].value();
+    Mine.Next.write(0);
+    Mine.MustWait.write(1);
+    const std::uint32_t Pred = Tail.exchange(Tid + 1);
+    if (Pred == 0)
+      return; // Lock was free.
+    // Link behind the predecessor and spin on our own flag.
+    Nodes[Pred - 1].value().Next.write(Tid + 1);
+    SpinWait Waiter;
+    while (Mine.MustWait.read() != 0)
+      Waiter.once();
+  }
+
+  void unlock(std::uint32_t Tid) {
+    assert(Tid < N && "thread id out of range");
+    Node &Mine = Nodes[Tid].value();
+    if (Mine.Next.read() == 0) {
+      // No known successor: try to close the queue.
+      if (Tail.compareAndSwap(Tid + 1, 0))
+        return;
+      // A successor is announcing itself; wait for the link.
+      SpinWait Waiter;
+      while (Mine.Next.read() == 0)
+        Waiter.once();
+    }
+    Nodes[Mine.Next.read() - 1].value().MustWait.write(0);
+  }
+
+private:
+  struct Node {
+    AtomicRegister<std::uint32_t> Next{0};    ///< Successor id+1; 0 = none.
+    AtomicRegister<std::uint8_t> MustWait{0}; ///< Spun on by the owner.
+  };
+
+  const std::uint32_t N;
+  AtomicRegister<std::uint32_t> Tail{0}; ///< Last waiter id+1; 0 = free.
+  std::unique_ptr<CacheLinePadded<Node>[]> Nodes;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_LOCKS_MCSLOCK_H

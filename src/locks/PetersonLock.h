@@ -1,0 +1,58 @@
+//===- locks/PetersonLock.h - Peterson's 2-process lock ---------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Peterson's two-process mutual exclusion algorithm (the paper cites
+/// Peterson's round-robin idea [17] as a source of the TURN mechanism).
+/// Starvation-free for two processes; used standalone and as the node
+/// game of the tournament lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_LOCKS_PETERSONLOCK_H
+#define CSOBJ_LOCKS_PETERSONLOCK_H
+
+#include "memory/AtomicRegister.h"
+#include "support/SpinWait.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace csobj {
+
+/// Peterson's algorithm for exactly two processes (ids 0 and 1).
+class PetersonLock {
+public:
+  static constexpr const char *Name = "peterson2";
+
+  explicit PetersonLock(std::uint32_t NumThreads = 2) {
+    assert(NumThreads <= 2 && "Peterson's lock supports two processes");
+    (void)NumThreads;
+  }
+
+  void lock(std::uint32_t Tid) {
+    assert(Tid < 2 && "Peterson's lock supports ids 0 and 1");
+    const std::uint32_t Other = 1 - Tid;
+    Flag[Tid].write(1);
+    Victim.write(Tid);
+    SpinWait Waiter;
+    while (Flag[Other].read() != 0 && Victim.read() == Tid)
+      Waiter.once();
+  }
+
+  void unlock(std::uint32_t Tid) {
+    assert(Tid < 2 && "Peterson's lock supports ids 0 and 1");
+    Flag[Tid].write(0);
+  }
+
+private:
+  AtomicRegister<std::uint8_t> Flag[2]{};
+  AtomicRegister<std::uint32_t> Victim{0};
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_LOCKS_PETERSONLOCK_H

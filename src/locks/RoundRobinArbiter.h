@@ -1,0 +1,100 @@
+//===- locks/RoundRobinArbiter.h - The FLAG/TURN doorway --------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FLAG[1..n] / TURN round-robin doorway of the paper's Figure 3
+/// (the starred lines 04-05 and 10-11), factored into a standalone
+/// component. The paper observes (Section 4.4) that bracketing any
+/// deadlock-free lock with this doorway yields a starvation-free lock,
+/// and (Section 1.2) that the mechanism is a reusable *contention
+/// manager* for fairness problems in general. Both uses live here:
+/// Figure 3 composes the arbiter with its lock, and StarvationFreeLock.h
+/// packages the Section 4.4 transformation.
+///
+/// Protocol (0-based ids; the paper's (TURN mod n) + 1 becomes
+/// (Turn + 1) % n):
+///  * enter(i)  — line 04: FLAG[i] <- true; line 05: wait until TURN = i
+///    or FLAG[TURN] = false.
+///  * exitAndAdvance(i) — line 10: FLAG[i] <- false; line 11: if
+///    FLAG[TURN] = false, advance TURN to the next process on the ring.
+///
+/// Liveness argument (paper's Lemma 3): TURN is only ever advanced to the
+/// next ring position and never skips a process, so a flagged process
+/// eventually holds TURN, at which point every other process blocks in
+/// enter() until it passes through.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_LOCKS_ROUNDROBINARBITER_H
+#define CSOBJ_LOCKS_ROUNDROBINARBITER_H
+
+#include "memory/AtomicRegister.h"
+#include "support/CacheLine.h"
+#include "support/SpinWait.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace csobj {
+
+/// The paper's FLAG/TURN fairness doorway.
+class RoundRobinArbiter {
+public:
+  /// \p NumThreads is the paper's n; ids are 0..n-1. The initial TURN is
+  /// arbitrary per the paper; 0 is used.
+  explicit RoundRobinArbiter(std::uint32_t NumThreads)
+      : N(NumThreads),
+        Flag(new CacheLinePadded<AtomicRegister<std::uint8_t>>[NumThreads]) {
+    assert(NumThreads >= 1 && "arbiter needs at least one process");
+  }
+
+  /// Lines 04-05: announce interest, then wait until this process has
+  /// priority or the prioritized process is not competing.
+  void enter(std::uint32_t I) {
+    assert(I < N && "thread id out of range");
+    Flag[I].value().write(1);                        // line 04
+    SpinWait Waiter;
+    while (true) {                                   // line 05
+      const std::uint32_t T = Turn.read();
+      if (T == I)
+        break;
+      if (Flag[T].value().read() == 0)
+        break;
+      Waiter.once();
+    }
+  }
+
+  /// Lines 10-11: withdraw interest and, if the prioritized process is
+  /// not competing, pass priority to the next process on the ring.
+  void exitAndAdvance(std::uint32_t I) {
+    assert(I < N && "thread id out of range");
+    Flag[I].value().write(0);                        // line 10
+    const std::uint32_t T = Turn.read();             // line 11
+    if (Flag[T].value().read() == 0)
+      Turn.write((T + 1) % N);
+  }
+
+  std::uint32_t numThreads() const { return N; }
+
+  /// Current TURN value (test/debug aid, uninstrumented).
+  std::uint32_t turnForTesting() const { return Turn.peekForTesting(); }
+
+  /// Current FLAG[i] (test/debug aid, uninstrumented).
+  bool flagForTesting(std::uint32_t I) const {
+    assert(I < N && "thread id out of range");
+    return Flag[I].value().peekForTesting() != 0;
+  }
+
+private:
+  const std::uint32_t N;
+  AtomicRegister<std::uint32_t> Turn{0};
+  std::unique_ptr<CacheLinePadded<AtomicRegister<std::uint8_t>>[]> Flag;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_LOCKS_ROUNDROBINARBITER_H

@@ -1,0 +1,95 @@
+//===- locks/TasLock.h - Test-and-set spin locks ----------------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two classic test-and-set spin locks. Both are deadlock-free but
+/// not starvation-free — exactly the class of lock the paper's Figure 3
+/// assumes ("this lock is assumed to be deadlock-free but it is not
+/// required to be starvation-free"), and the raw material for the
+/// Section 4.4 starvation-freedom transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_LOCKS_TASLOCK_H
+#define CSOBJ_LOCKS_TASLOCK_H
+
+#include "memory/AtomicRegister.h"
+#include "support/Backoff.h"
+#include "support/SpinWait.h"
+
+#include <cstdint>
+
+namespace csobj {
+
+/// Test-and-set lock: spin on an atomic exchange.
+class TasLock {
+public:
+  static constexpr const char *Name = "tas";
+
+  explicit TasLock(std::uint32_t /*NumThreads*/ = 0) {}
+
+  void lock(std::uint32_t /*Tid*/ = 0) {
+    SpinWait Waiter;
+    while (Held.exchange(1) != 0)
+      Waiter.once();
+  }
+
+  void unlock(std::uint32_t /*Tid*/ = 0) { Held.write(0); }
+
+private:
+  AtomicRegister<std::uint8_t> Held{0};
+};
+
+/// Test-and-test-and-set lock: spin reading, exchange only when the lock
+/// looks free. Fewer bus-locking operations under contention than TAS.
+class TtasLock {
+public:
+  static constexpr const char *Name = "ttas";
+
+  explicit TtasLock(std::uint32_t /*NumThreads*/ = 0) {}
+
+  void lock(std::uint32_t /*Tid*/ = 0) {
+    SpinWait Waiter;
+    while (true) {
+      if (Held.read() == 0 && Held.exchange(1) == 0)
+        return;
+      Waiter.once();
+    }
+  }
+
+  void unlock(std::uint32_t /*Tid*/ = 0) { Held.write(0); }
+
+private:
+  AtomicRegister<std::uint8_t> Held{0};
+};
+
+/// Test-and-set lock with randomized exponential backoff between failed
+/// attempts — the classic remedy for TAS bus storms and the simplest
+/// time-based contention manager in the lock substrate.
+class BackoffTasLock {
+public:
+  static constexpr const char *Name = "tas-backoff";
+
+  explicit BackoffTasLock(std::uint32_t /*NumThreads*/ = 0) {}
+
+  void lock(std::uint32_t Tid = 0) {
+    ExponentialBackoff Backoff(4, 1024, Tid + 1);
+    while (true) {
+      if (Held.read() == 0 && Held.exchange(1) == 0)
+        return;
+      Backoff.onFailure();
+    }
+  }
+
+  void unlock(std::uint32_t /*Tid*/ = 0) { Held.write(0); }
+
+private:
+  AtomicRegister<std::uint8_t> Held{0};
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_LOCKS_TASLOCK_H

@@ -1,0 +1,52 @@
+//===- locks/TicketLock.h - FIFO ticket lock --------------------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ticket lock: fetch-and-add a ticket, spin until served. FIFO and
+/// therefore starvation-free on its own — the control case for the
+/// Section 4.4 transformation (the paper's remark in 4.1: with a
+/// starvation-free lock, FLAG and TURN become useless).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_LOCKS_TICKETLOCK_H
+#define CSOBJ_LOCKS_TICKETLOCK_H
+
+#include "memory/AtomicRegister.h"
+#include "support/CacheLine.h"
+#include "support/SpinWait.h"
+
+#include <cstdint>
+
+namespace csobj {
+
+/// FIFO ticket lock.
+class TicketLock {
+public:
+  static constexpr const char *Name = "ticket";
+
+  explicit TicketLock(std::uint32_t /*NumThreads*/ = 0) {}
+
+  void lock(std::uint32_t /*Tid*/ = 0) {
+    const std::uint32_t Ticket = NextTicket.value().fetchAdd(1);
+    SpinWait Waiter;
+    while (NowServing.value().read() != Ticket)
+      Waiter.once();
+  }
+
+  void unlock(std::uint32_t /*Tid*/ = 0) {
+    // Only the holder writes NowServing; a plain increment is safe.
+    NowServing.value().write(NowServing.value().read() + 1);
+  }
+
+private:
+  CacheLinePadded<AtomicRegister<std::uint32_t>> NextTicket;
+  CacheLinePadded<AtomicRegister<std::uint32_t>> NowServing;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_LOCKS_TICKETLOCK_H

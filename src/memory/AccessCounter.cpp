@@ -1,0 +1,15 @@
+//===- memory/AccessCounter.cpp -------------------------------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/AccessCounter.h"
+
+namespace csobj {
+namespace detail {
+
+thread_local AccessCounts *ActiveAccessCounts = nullptr;
+
+} // namespace detail
+} // namespace csobj

@@ -1,0 +1,110 @@
+//===- memory/AtomicRegister.h - The paper's atomic register ----*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AtomicRegister<T> models the paper's computation substrate (Section 2):
+/// an atomic register supporting read, write and Compare&Swap. It wraps
+/// std::atomic<T> and routes every operation through two thread-local
+/// instrumentation channels:
+///
+///  * access accounting (memory/AccessCounter.h) — regenerates the paper's
+///    "six shared-memory accesses" analysis, and
+///  * the scheduling hook (memory/SchedHook.h) — lets the interleaving
+///    explorer serialize and enumerate executions.
+///
+/// Every shared register in this library (the stacks' TOP and STACK[],
+/// CONTENTION, FLAG[], TURN, the locks' state, the baselines' heads) is an
+/// AtomicRegister, so instrumentation is uniform across all compared
+/// implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_MEMORY_ATOMICREGISTER_H
+#define CSOBJ_MEMORY_ATOMICREGISTER_H
+
+#include "memory/AccessCounter.h"
+#include "memory/SchedHook.h"
+
+#include <atomic>
+
+namespace csobj {
+
+/// An atomic register in the sense of the paper: linearizable read, write
+/// and Compare&Swap. Default memory order is sequentially consistent,
+/// matching the interleaving model the paper's proofs assume; callers on
+/// hot paths may relax individual accesses where an argument exists.
+template <typename T>
+class AtomicRegister {
+public:
+  AtomicRegister() = default;
+  explicit AtomicRegister(T Initial) : Cell(Initial) {}
+
+  AtomicRegister(const AtomicRegister &) = delete;
+  AtomicRegister &operator=(const AtomicRegister &) = delete;
+
+  /// Atomic read. Counts as one shared-memory access.
+  T read(std::memory_order Order = std::memory_order_seq_cst) const {
+    detail::preAccess(AccessKind::Read);
+    detail::noteRead();
+    return Cell.load(Order);
+  }
+
+  /// Atomic write. Counts as one shared-memory access.
+  void write(T Value, std::memory_order Order = std::memory_order_seq_cst) {
+    detail::preAccess(AccessKind::Write);
+    detail::noteWrite();
+    Cell.store(Value, Order);
+  }
+
+  /// The paper's X.C&S(old, new): atomically, if the register holds
+  /// \p Expected it is set to \p Desired and true is returned; otherwise
+  /// false. Counts as one shared-memory access whether or not it succeeds.
+  bool compareAndSwap(T Expected, T Desired,
+                      std::memory_order Order = std::memory_order_seq_cst) {
+    detail::preAccess(AccessKind::Cas);
+    const bool Succeeded =
+        Cell.compare_exchange_strong(Expected, Desired, Order, Order);
+    detail::noteCas(Succeeded);
+    return Succeeded;
+  }
+
+  /// Compare&Swap that also reports the witnessed value on failure, the
+  /// "returns the previous value" machine flavour mentioned in Section 2.2.
+  bool compareAndSwapValue(T &ExpectedInOut, T Desired,
+                           std::memory_order Order =
+                               std::memory_order_seq_cst) {
+    detail::preAccess(AccessKind::Cas);
+    const bool Succeeded =
+        Cell.compare_exchange_strong(ExpectedInOut, Desired, Order, Order);
+    detail::noteCas(Succeeded);
+    return Succeeded;
+  }
+
+  /// Atomic exchange (used by test-and-set locks).
+  T exchange(T Value, std::memory_order Order = std::memory_order_seq_cst) {
+    detail::preAccess(AccessKind::Rmw);
+    detail::noteRmw();
+    return Cell.exchange(Value, Order);
+  }
+
+  /// Atomic fetch-add (used by the ticket lock). Only for integral T.
+  T fetchAdd(T Delta, std::memory_order Order = std::memory_order_seq_cst) {
+    detail::preAccess(AccessKind::Rmw);
+    detail::noteRmw();
+    return Cell.fetch_add(Delta, Order);
+  }
+
+  /// Uninstrumented read for assertions and test oracles only; never used
+  /// on an algorithm's counted path.
+  T peekForTesting() const { return Cell.load(std::memory_order_seq_cst); }
+
+private:
+  std::atomic<T> Cell{};
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_MEMORY_ATOMICREGISTER_H

@@ -1,0 +1,51 @@
+//===- memory/ChaosHook.h - Asynchrony injection ----------------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized preemption at shared-memory access points. The paper's
+/// model has n *asynchronous* processes whose shared accesses interleave
+/// arbitrarily; on a single-core host, OS timeslices are so long relative
+/// to an operation (~tens of ns) that two operations practically never
+/// overlap and contention effects vanish. Installing a ChaosHook makes a
+/// thread yield the core with a configurable probability immediately
+/// before each shared access — precisely the points where interleaving
+/// matters — restoring the adversarial asynchrony the paper reasons
+/// about. All implementations are measured under the same hook, so
+/// comparisons remain like-for-like.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_MEMORY_CHAOSHOOK_H
+#define CSOBJ_MEMORY_CHAOSHOOK_H
+
+#include "memory/SchedHook.h"
+#include "support/SplitMix64.h"
+
+#include <cstdint>
+#include <thread>
+
+namespace csobj {
+
+/// Yields before a shared access with probability YieldPermille / 1000.
+class ChaosHook final : public SchedHook {
+public:
+  ChaosHook(std::uint64_t Seed, std::uint32_t YieldPermille)
+      : Rng(Seed), Permille(YieldPermille) {}
+
+  void beforeSharedAccess(AccessKind Kind) override {
+    (void)Kind;
+    if (Rng.below(1000) < Permille)
+      std::this_thread::yield();
+  }
+
+private:
+  SplitMix64 Rng;
+  std::uint32_t Permille;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_MEMORY_CHAOSHOOK_H

@@ -1,0 +1,107 @@
+//===- memory/IndexPool.h - Lock-free index free list -----------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free pool of small integer indices, implemented as a Treiber
+/// free list over a preallocated next-array with a tagged head word (the
+/// Section 2.2 ABA tag technique). Linked baselines (Treiber stack,
+/// Michael-Scott queue) and the boxed-value wrapper draw their node slots
+/// from this pool, which keeps them allocation-free after construction
+/// and gives all of them bounded (total, "full"-returning) semantics that
+/// match the paper's bounded stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_MEMORY_INDEXPOOL_H
+#define CSOBJ_MEMORY_INDEXPOOL_H
+
+#include "memory/AtomicRegister.h"
+#include "support/BitPack.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace csobj {
+
+/// Lock-free LIFO pool of indices [0, size).
+class IndexPool {
+public:
+  explicit IndexPool(std::uint32_t Size)
+      : Size(Size), Next(new AtomicRegister<std::uint32_t>[Size]) {
+    assert(Size >= 1 && "pool must hold at least one index");
+    // Thread all indices onto the free list: i -> i+1 -> ... -> null.
+    for (std::uint32_t I = 0; I + 1 < Size; ++I)
+      Next[I].write(encodeLink(I + 1));
+    Next[Size - 1].write(NullLink);
+    Head.write(HeadCodec::pack(encodeLink(0), 0));
+  }
+
+  /// Pops a free index, or nullopt when the pool is exhausted.
+  std::optional<std::uint32_t> tryAcquire() {
+    while (true) {
+      const std::uint64_t Observed = Head.read();
+      const std::uint32_t Link = linkOf(Observed);
+      if (Link == NullLink)
+        return std::nullopt;
+      const std::uint32_t Idx = Link - 1;
+      const std::uint32_t NextLink = Next[Idx].read();
+      if (Head.compareAndSwap(
+              Observed, HeadCodec::pack(NextLink, tagOf(Observed) + 1)))
+        return Idx;
+    }
+  }
+
+  /// Returns \p Idx to the pool.
+  void release(std::uint32_t Idx) {
+    assert(Idx < Size && "index out of range");
+    while (true) {
+      const std::uint64_t Observed = Head.read();
+      Next[Idx].write(linkOf(Observed));
+      if (Head.compareAndSwap(
+              Observed,
+              HeadCodec::pack(encodeLink(Idx), tagOf(Observed) + 1)))
+        return;
+    }
+  }
+
+  std::uint32_t size() const { return Size; }
+
+  /// Counts free entries by walking the list. Only meaningful when
+  /// quiescent (test/debug aid).
+  std::uint32_t freeCountForTesting() const {
+    std::uint32_t Count = 0;
+    std::uint32_t Link = linkOf(Head.peekForTesting());
+    while (Link != NullLink) {
+      ++Count;
+      Link = Next[Link - 1].peekForTesting();
+    }
+    return Count;
+  }
+
+private:
+  // Head packs <link:32, tag:32>; links are index+1 with 0 = null so the
+  // empty pool is distinguishable.
+  using HeadCodec = PackedPair<std::uint64_t, 32, 32>;
+  static constexpr std::uint32_t NullLink = 0;
+
+  static std::uint32_t encodeLink(std::uint32_t Idx) { return Idx + 1; }
+  static std::uint32_t linkOf(std::uint64_t Word) {
+    return static_cast<std::uint32_t>(HeadCodec::a(Word));
+  }
+  static std::uint32_t tagOf(std::uint64_t Word) {
+    return static_cast<std::uint32_t>(HeadCodec::b(Word));
+  }
+
+  const std::uint32_t Size;
+  AtomicRegister<std::uint64_t> Head;
+  std::unique_ptr<AtomicRegister<std::uint32_t>[]> Next;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_MEMORY_INDEXPOOL_H

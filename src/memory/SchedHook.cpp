@@ -1,0 +1,17 @@
+//===- memory/SchedHook.cpp -----------------------------------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/SchedHook.h"
+
+namespace csobj {
+
+SchedHook::~SchedHook() = default;
+
+namespace detail {
+thread_local SchedHook *ActiveSchedHook = nullptr;
+} // namespace detail
+
+} // namespace csobj

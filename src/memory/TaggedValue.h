@@ -1,0 +1,154 @@
+//===- memory/TaggedValue.h - ABA-safe packed register codecs ---*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Codecs for the multi-field atomic registers of the paper's stack
+/// algorithm (Section 3):
+///
+///  * TOP holds a triple <index, value, seqnb>;
+///  * each STACK[x] holds a pair <val, sn>.
+///
+/// The sequence-number fields implement the tag technique of Section 2.2
+/// that defeats the ABA problem. Two codec families are provided:
+///
+///  * Compact64: everything in one 64-bit word (index:16 | seq:16 |
+///    value:32). Always lock-free; sequence numbers wrap modulo 2^16,
+///    which in the ABA argument requires a thread to sleep across exactly
+///    a multiple of 65536 reuses of one slot to be fooled.
+///  * Wide128: a 128-bit word (index:32 | seq:32 | value:64) for
+///    ABA-paranoid deployments and for 64-bit payloads; on x86-64 this
+///    maps to CMPXCHG16B (possibly via libatomic).
+///
+/// Both families model the TopCodec/SlotCodec concepts consumed by the
+/// core algorithms, which are entirely codec-generic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_MEMORY_TAGGEDVALUE_H
+#define CSOBJ_MEMORY_TAGGEDVALUE_H
+
+#include "support/BitPack.h"
+
+#include <cstdint>
+
+namespace csobj {
+
+/// Decoded view of the TOP register: the paper's <index, value, seqnb>.
+template <typename ValueT>
+struct TopFields {
+  std::uint32_t Index = 0;
+  ValueT Value = 0;
+  std::uint32_t Seq = 0;
+
+  bool operator==(const TopFields &) const = default;
+};
+
+/// Decoded view of a STACK[x] register: the paper's <val, sn>.
+template <typename ValueT>
+struct SlotFields {
+  ValueT Value = 0;
+  std::uint32_t Seq = 0;
+
+  bool operator==(const SlotFields &) const = default;
+};
+
+/// Packs TOP = <index, seq, value> into a single CASable word.
+///
+/// \tparam WordT     unsigned word type holding the whole triple
+/// \tparam IndexBits bits for the stack index
+/// \tparam SeqBits   bits for the ABA sequence number
+/// \tparam ValueT    unsigned logical payload type
+template <typename WordT, unsigned IndexBits, unsigned SeqBits,
+          typename ValueT>
+struct TopCodec {
+  using Word = WordT;
+  using ValueType = ValueT;
+
+  static constexpr unsigned ValueBits =
+      sizeof(WordT) * 8 - IndexBits - SeqBits;
+  static_assert(ValueBits <= sizeof(ValueT) * 8,
+                "payload type too narrow for the value field");
+
+  using Layout = PackedTriple<WordT, IndexBits, SeqBits, ValueBits>;
+
+  /// The paper's bottom value: reserved all-ones payload.
+  static constexpr ValueT Bottom =
+      static_cast<ValueT>(lowBitMask<WordT>(ValueBits));
+  /// Largest representable stack index (capacity k must stay below it).
+  static constexpr std::uint32_t MaxIndex =
+      static_cast<std::uint32_t>(lowBitMask<WordT>(IndexBits));
+  /// Sequence numbers live in Z / 2^SeqBits.
+  static constexpr std::uint32_t SeqMask =
+      static_cast<std::uint32_t>(lowBitMask<WordT>(SeqBits));
+
+  static constexpr Word pack(TopFields<ValueT> Fields) {
+    return Layout::pack(static_cast<WordT>(Fields.Index),
+                        static_cast<WordT>(Fields.Seq),
+                        static_cast<WordT>(Fields.Value));
+  }
+
+  static constexpr TopFields<ValueT> unpack(Word W) {
+    TopFields<ValueT> Fields;
+    Fields.Index = static_cast<std::uint32_t>(Layout::a(W));
+    Fields.Seq = static_cast<std::uint32_t>(Layout::b(W));
+    Fields.Value = static_cast<ValueT>(Layout::c(W));
+    return Fields;
+  }
+
+  /// Sequence arithmetic modulo the field width (sn + 1, seqnb - 1, ...).
+  static constexpr std::uint32_t seqAdd(std::uint32_t Seq,
+                                        std::int32_t Delta) {
+    return (Seq + static_cast<std::uint32_t>(Delta)) & SeqMask;
+  }
+};
+
+/// Packs STACK[x] = <value, sn> (plus padding) into a single CASable word.
+/// The sequence field width matches the companion TopCodec because slot
+/// sequence numbers transit through TOP.seq.
+template <typename WordT, unsigned SeqBits, typename ValueT>
+struct SlotCodec {
+  using Word = WordT;
+  using ValueType = ValueT;
+
+  static constexpr unsigned ValueBits = sizeof(ValueT) * 8;
+  static_assert(ValueBits + SeqBits <= sizeof(WordT) * 8,
+                "slot fields exceed the word");
+
+  using ValueField = BitField<WordT, 0, ValueBits>;
+  using SeqField = BitField<WordT, ValueBits, SeqBits>;
+
+  static constexpr Word pack(SlotFields<ValueT> Fields) {
+    return ValueField::encode(static_cast<WordT>(Fields.Value)) |
+           SeqField::encode(static_cast<WordT>(Fields.Seq));
+  }
+
+  static constexpr SlotFields<ValueT> unpack(Word W) {
+    SlotFields<ValueT> Fields;
+    Fields.Value = static_cast<ValueT>(ValueField::get(W));
+    Fields.Seq = static_cast<std::uint32_t>(SeqField::get(W));
+    return Fields;
+  }
+};
+
+/// Compact configuration: one 64-bit word, uint32 payloads (one value,
+/// 0xFFFF'FFFF, is reserved as the paper's bottom).
+struct Compact64 {
+  using Top = TopCodec<std::uint64_t, 16, 16, std::uint32_t>;
+  using Slot = SlotCodec<std::uint64_t, 16, std::uint32_t>;
+  using Value = std::uint32_t;
+};
+
+/// Wide configuration: 128-bit words, uint64 payloads and 32-bit sequence
+/// numbers, for workloads where 16-bit tag wrap-around is a concern.
+struct Wide128 {
+  using Top = TopCodec<unsigned __int128, 32, 32, std::uint64_t>;
+  using Slot = SlotCodec<unsigned __int128, 32, std::uint64_t>;
+  using Value = std::uint64_t;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_MEMORY_TAGGEDVALUE_H

@@ -1,0 +1,53 @@
+//===- runtime/SpinBarrier.h - Start-line barrier ---------------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sense-reversing barrier used to release all benchmark/test workers at
+/// the same instant, so measured windows contain only steady-state work.
+/// Spins politely (pause -> yield escalation) and is therefore safe on
+/// oversubscribed hosts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_RUNTIME_SPINBARRIER_H
+#define CSOBJ_RUNTIME_SPINBARRIER_H
+
+#include "support/SpinWait.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace csobj {
+
+/// Reusable sense-reversing spin barrier for a fixed party count.
+class SpinBarrier {
+public:
+  explicit SpinBarrier(std::uint32_t Parties)
+      : Parties(Parties), Remaining(Parties) {}
+
+  /// Blocks until all parties arrive. Reusable across rounds.
+  void arriveAndWait() {
+    const bool MySense = !Sense.load(std::memory_order_relaxed);
+    if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arrival: reset and flip the sense to release everyone.
+      Remaining.store(Parties, std::memory_order_relaxed);
+      Sense.store(MySense, std::memory_order_release);
+      return;
+    }
+    SpinWait Waiter;
+    while (Sense.load(std::memory_order_acquire) != MySense)
+      Waiter.once();
+  }
+
+private:
+  const std::uint32_t Parties;
+  std::atomic<std::uint32_t> Remaining;
+  std::atomic<bool> Sense{false};
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_RUNTIME_SPINBARRIER_H

@@ -1,0 +1,87 @@
+//===- runtime/Stats.h - Latency histograms & fairness ----------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measurement plumbing for the benchmark harness:
+///
+///  * LatencyHistogram — HDR-style log/linear histogram of nanosecond
+///    latencies; constant memory, constant-time record, mergeable across
+///    threads, percentile queries. The starvation experiments (E4, E6)
+///    need faithful *tails*, which sampled means would hide.
+///  * jainFairnessIndex — the classic (sum x)^2 / (n * sum x^2) fairness
+///    score over per-thread completion counts; 1.0 = perfectly fair.
+///    Starvation-freedom shows up as the index staying near 1 while
+///    unfair locks drift toward 1/n.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_RUNTIME_STATS_H
+#define CSOBJ_RUNTIME_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace csobj {
+
+/// Log/linear histogram for values in [1, ~2^62] ns.
+///
+/// Values are bucketed by (exponent of the highest set bit, next
+/// SubBucketBits bits), giving a relative quantization error below
+/// 1 / 2^SubBucketBits — ample for latency percentiles.
+class LatencyHistogram {
+public:
+  static constexpr unsigned SubBucketBits = 5;
+  static constexpr unsigned SubBuckets = 1u << SubBucketBits;
+  static constexpr unsigned Exponents = 63;
+
+  LatencyHistogram();
+
+  /// Records one value (clamped to >= 1).
+  void record(std::uint64_t ValueNs);
+
+  /// Adds all samples of \p Other into this histogram.
+  void merge(const LatencyHistogram &Other);
+
+  std::uint64_t count() const { return Total; }
+  std::uint64_t maxValue() const { return Max; }
+  std::uint64_t minValue() const;
+  double mean() const;
+
+  /// Value at quantile \p Q in [0, 1] (0.5 = median). Returns the upper
+  /// edge of the containing bucket; 0 when empty.
+  std::uint64_t valueAtQuantile(double Q) const;
+
+  /// Clears all recorded samples.
+  void reset();
+
+private:
+  static unsigned bucketIndex(std::uint64_t Value);
+  static std::uint64_t bucketUpperEdge(unsigned Index);
+
+  std::vector<std::uint64_t> Buckets;
+  std::uint64_t Total = 0;
+  std::uint64_t Sum = 0;
+  std::uint64_t Max = 0;
+};
+
+/// Jain's fairness index over per-thread scores; 1 = perfectly fair,
+/// 1/n = one thread got everything. Returns 1 for empty/all-zero input.
+double jainFairnessIndex(const std::vector<double> &Scores);
+
+/// Convenience summary of a histogram for table printing.
+struct LatencySummary {
+  std::uint64_t Count = 0;
+  double MeanNs = 0;
+  std::uint64_t P50Ns = 0;
+  std::uint64_t P99Ns = 0;
+  std::uint64_t MaxNs = 0;
+};
+
+LatencySummary summarize(const LatencyHistogram &Histogram);
+
+} // namespace csobj
+
+#endif // CSOBJ_RUNTIME_STATS_H

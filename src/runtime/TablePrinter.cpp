@@ -1,0 +1,87 @@
+//===- runtime/TablePrinter.cpp -------------------------------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TablePrinter.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace csobj {
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row width must match header");
+  Rows.push_back(std::move(Row));
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<std::size_t> Widths(Header.size());
+  for (std::size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (std::size_t C = 0; C < Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    OS << "| ";
+    for (std::size_t C = 0; C < Row.size(); ++C) {
+      OS << Row[C];
+      for (std::size_t Pad = Row[C].size(); Pad < Widths[C]; ++Pad)
+        OS << ' ';
+      OS << " | ";
+    }
+    OS << '\n';
+  };
+
+  if (!Title.empty())
+    OS << "== " << Title << " ==\n";
+  PrintRow(Header);
+  OS << "|";
+  for (std::size_t C = 0; C < Header.size(); ++C) {
+    for (std::size_t Pad = 0; Pad < Widths[C] + 2; ++Pad)
+      OS << '-';
+    OS << "|";
+  }
+  OS << " \n";
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string formatNs(double Ns) {
+  char Buffer[64];
+  if (Ns < 1e3)
+    std::snprintf(Buffer, sizeof(Buffer), "%.0fns", Ns);
+  else if (Ns < 1e6)
+    std::snprintf(Buffer, sizeof(Buffer), "%.2fus", Ns / 1e3);
+  else if (Ns < 1e9)
+    std::snprintf(Buffer, sizeof(Buffer), "%.2fms", Ns / 1e6);
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.2fs", Ns / 1e9);
+  return Buffer;
+}
+
+std::string formatDouble(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+std::string formatRate(double OpsPerSec) {
+  char Buffer[64];
+  if (OpsPerSec < 1e3)
+    std::snprintf(Buffer, sizeof(Buffer), "%.0f ops/s", OpsPerSec);
+  else if (OpsPerSec < 1e6)
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f Kops/s", OpsPerSec / 1e3);
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.2f Mops/s", OpsPerSec / 1e6);
+  return Buffer;
+}
+
+} // namespace csobj

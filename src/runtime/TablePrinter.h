@@ -1,0 +1,54 @@
+//===- runtime/TablePrinter.h - Fixed-width result tables -------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fixed-width table printer shared by all benchmark binaries so
+/// EXPERIMENTS.md can quote uniform output. Also provides the number
+/// formatting helpers (ns with unit scaling, rates, ratios).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_RUNTIME_TABLEPRINTER_H
+#define CSOBJ_RUNTIME_TABLEPRINTER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csobj {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Adds one row; must have as many cells as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Prints title (if any), header, separator and rows to \p OS.
+  void print(std::ostream &OS) const;
+
+  void setTitle(std::string T) { Title = std::move(T); }
+
+private:
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats nanoseconds with a scaled unit (ns / us / ms / s).
+std::string formatNs(double Ns);
+
+/// Formats a double with \p Decimals fraction digits.
+std::string formatDouble(double Value, int Decimals = 2);
+
+/// Formats ops/sec with a scaled unit (ops/s, Kops/s, Mops/s).
+std::string formatRate(double OpsPerSec);
+
+} // namespace csobj
+
+#endif // CSOBJ_RUNTIME_TABLEPRINTER_H

@@ -1,0 +1,44 @@
+//===- runtime/ThreadRegistry.cpp -----------------------------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ThreadRegistry.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace csobj {
+
+ThreadRegistry::ThreadRegistry(std::uint32_t Capacity)
+    : CapacityN(Capacity), InUse(Capacity, false) {
+  assert(Capacity >= 1 && "registry needs at least one slot");
+}
+
+std::uint32_t ThreadRegistry::acquire() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  for (std::uint32_t I = 0; I < CapacityN; ++I) {
+    if (!InUse[I]) {
+      InUse[I] = true;
+      ++Active;
+      return I;
+    }
+  }
+  assert(false && "more threads than the configured process count");
+  std::abort();
+}
+
+void ThreadRegistry::release(std::uint32_t Id) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  assert(Id < CapacityN && InUse[Id] && "releasing an id that is not held");
+  InUse[Id] = false;
+  --Active;
+}
+
+std::uint32_t ThreadRegistry::activeCount() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Active;
+}
+
+} // namespace csobj

@@ -1,0 +1,71 @@
+//===- runtime/ThreadRegistry.h - Dense process identities ------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's computation model names processes p_1..p_n; Figure 3 and
+/// several locks need a dense id per participating thread (FLAG[i],
+/// per-process queue nodes). ThreadRegistry hands out such ids. Ids are
+/// handed out once and recycled explicitly (ScopedThreadId), so a fixed
+/// pool of worker threads maps 1:1 onto the paper's processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_RUNTIME_THREADREGISTRY_H
+#define CSOBJ_RUNTIME_THREADREGISTRY_H
+
+#include <cstdint>
+
+#include <mutex>
+#include <vector>
+
+namespace csobj {
+
+/// Hands out dense ids 0..Capacity-1 to cooperating threads.
+class ThreadRegistry {
+public:
+  explicit ThreadRegistry(std::uint32_t Capacity);
+
+  /// Claims a free id. Asserts (and aborts) if more than Capacity threads
+  /// register simultaneously — that would violate the paper's n-process
+  /// model the client chose at construction.
+  std::uint32_t acquire();
+
+  /// Returns an id to the pool.
+  void release(std::uint32_t Id);
+
+  std::uint32_t capacity() const { return CapacityN; }
+
+  /// Number of ids currently held.
+  std::uint32_t activeCount() const;
+
+private:
+  const std::uint32_t CapacityN;
+  mutable std::mutex Mutex;
+  std::vector<bool> InUse;
+  std::uint32_t Active = 0;
+};
+
+/// RAII id claim.
+class ScopedThreadId {
+public:
+  explicit ScopedThreadId(ThreadRegistry &Registry)
+      : Registry(Registry), Id(Registry.acquire()) {}
+
+  ScopedThreadId(const ScopedThreadId &) = delete;
+  ScopedThreadId &operator=(const ScopedThreadId &) = delete;
+
+  ~ScopedThreadId() { Registry.release(Id); }
+
+  std::uint32_t id() const { return Id; }
+
+private:
+  ThreadRegistry &Registry;
+  std::uint32_t Id;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_RUNTIME_THREADREGISTRY_H

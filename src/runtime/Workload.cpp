@@ -1,0 +1,101 @@
+//===- runtime/Workload.cpp -----------------------------------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Workload.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace csobj {
+
+std::uint64_t WorkloadReport::totalOps() const {
+  std::uint64_t Total = 0;
+  for (const ThreadReport &R : PerThread)
+    Total += R.completedOps();
+  return Total;
+}
+
+std::uint64_t WorkloadReport::totalAborts() const {
+  std::uint64_t Total = 0;
+  for (const ThreadReport &R : PerThread)
+    Total += R.Aborts;
+  return Total;
+}
+
+std::uint64_t WorkloadReport::totalRetries() const {
+  std::uint64_t Total = 0;
+  for (const ThreadReport &R : PerThread)
+    Total += R.Retries;
+  return Total;
+}
+
+double WorkloadReport::throughputOpsPerSec() const {
+  if (DurationSec <= 0)
+    return 0;
+  return static_cast<double>(totalOps()) / DurationSec;
+}
+
+double WorkloadReport::abortRate() const {
+  const std::uint64_t Total = totalOps();
+  if (Total == 0)
+    return 0;
+  return static_cast<double>(totalAborts()) / static_cast<double>(Total);
+}
+
+double WorkloadReport::meanRetries() const {
+  const std::uint64_t Total = totalOps();
+  if (Total == 0)
+    return 0;
+  return static_cast<double>(totalRetries()) / static_cast<double>(Total);
+}
+
+double WorkloadReport::fairness() const {
+  std::vector<double> Scores;
+  Scores.reserve(PerThread.size());
+  for (const ThreadReport &R : PerThread)
+    Scores.push_back(static_cast<double>(R.completedOps()));
+  return jainFairnessIndex(Scores);
+}
+
+double WorkloadReport::meanLatencyRatio() const {
+  double Min = 0, Max = 0;
+  bool First = true;
+  for (const ThreadReport &R : PerThread) {
+    if (R.Latency.count() == 0)
+      continue;
+    const double Mean = R.Latency.mean();
+    if (First) {
+      Min = Max = Mean;
+      First = false;
+    } else {
+      Min = std::min(Min, Mean);
+      Max = std::max(Max, Mean);
+    }
+  }
+  if (First || Min <= 0)
+    return 1.0;
+  return Max / Min;
+}
+
+LatencyHistogram WorkloadReport::mergedLatency() const {
+  LatencyHistogram Merged;
+  for (const ThreadReport &R : PerThread)
+    Merged.merge(R.Latency);
+  return Merged;
+}
+
+void spinThink(std::uint32_t Ns) {
+  if (Ns == 0)
+    return;
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(Ns);
+  // Pure local spin: think time must not touch shared memory, otherwise
+  // it would itself perturb the contention the workload dials in.
+  while (std::chrono::steady_clock::now() < Deadline) {
+  }
+}
+
+} // namespace csobj

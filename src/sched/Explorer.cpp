@@ -1,0 +1,101 @@
+//===- sched/Explorer.cpp -------------------------------------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Explorer.h"
+
+#include "support/SplitMix64.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace csobj {
+
+ExploreResult ScheduleExplorer::exploreAll(const ScenarioFactory &Factory) {
+  ExploreResult Result;
+
+  // DFS over schedule prefixes. The empty prefix is the first run; each
+  // run's trace spawns sibling prefixes for every unchosen alternative at
+  // or beyond the forced region.
+  std::vector<std::vector<std::uint32_t>> Pending;
+  Pending.push_back({});
+
+  while (!Pending.empty()) {
+    if (Result.Runs >= Options.MaxRuns) {
+      Result.Complete = false;
+      return Result;
+    }
+    const std::vector<std::uint32_t> Prefix = std::move(Pending.back());
+    Pending.pop_back();
+
+    ScenarioRun Scenario = Factory();
+    InterleaveScheduler Scheduler(
+        static_cast<std::uint32_t>(Scenario.Bodies.size()), Options.StepCap);
+    const InterleaveScheduler::RunTrace Trace = Scheduler.run(
+        Scenario.Bodies,
+        [&Prefix](std::size_t Step,
+                  const std::vector<std::uint32_t> &Parked) -> std::uint32_t {
+          if (Step < Prefix.size()) {
+            assert(std::find(Parked.begin(), Parked.end(), Prefix[Step]) !=
+                       Parked.end() &&
+                   "replay diverged: forced thread is not parked");
+            return Prefix[Step];
+          }
+          return Parked.front(); // Deterministic default: lowest id.
+        });
+
+    ++Result.Runs;
+    Result.MaxDepth = std::max<std::uint64_t>(Result.MaxDepth,
+                                              Trace.Decisions.size());
+    if (Trace.HitStepCap)
+      ++Result.CappedRuns;
+    if (Scenario.PostCheck)
+      Scenario.PostCheck();
+
+    // Spawn unexplored siblings, deepest first so the stack behaves as a
+    // proper DFS and the pending set stays small.
+    for (std::size_t Step = Trace.Decisions.size(); Step-- > Prefix.size();) {
+      const InterleaveScheduler::Decision &D = Trace.Decisions[Step];
+      for (std::uint32_t Alt : D.Available) {
+        if (Alt == D.Chosen)
+          continue;
+        std::vector<std::uint32_t> Sibling;
+        Sibling.reserve(Step + 1);
+        for (std::size_t S = 0; S < Step; ++S)
+          Sibling.push_back(Trace.Decisions[S].Chosen);
+        Sibling.push_back(Alt);
+        Pending.push_back(std::move(Sibling));
+      }
+    }
+  }
+  return Result;
+}
+
+ExploreResult ScheduleExplorer::randomWalks(const ScenarioFactory &Factory,
+                                            std::uint64_t NumRuns,
+                                            std::uint64_t Seed) {
+  ExploreResult Result;
+  for (std::uint64_t Run = 0; Run < NumRuns; ++Run) {
+    ScenarioRun Scenario = Factory();
+    SplitMix64 Rng = SplitMix64(Seed).split(Run);
+    InterleaveScheduler Scheduler(
+        static_cast<std::uint32_t>(Scenario.Bodies.size()), Options.StepCap);
+    const InterleaveScheduler::RunTrace Trace = Scheduler.run(
+        Scenario.Bodies,
+        [&Rng](std::size_t, const std::vector<std::uint32_t> &Parked) {
+          return Parked[Rng.below(Parked.size())];
+        });
+    ++Result.Runs;
+    Result.MaxDepth = std::max<std::uint64_t>(Result.MaxDepth,
+                                              Trace.Decisions.size());
+    if (Trace.HitStepCap)
+      ++Result.CappedRuns;
+    if (Scenario.PostCheck)
+      Scenario.PostCheck();
+  }
+  return Result;
+}
+
+} // namespace csobj

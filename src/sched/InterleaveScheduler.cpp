@@ -1,0 +1,114 @@
+//===- sched/InterleaveScheduler.cpp --------------------------------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/InterleaveScheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace csobj {
+
+InterleaveScheduler::InterleaveScheduler(std::uint32_t NumThreads,
+                                         std::uint64_t StepCap)
+    : N(NumThreads), StepCap(StepCap), States(NumThreads,
+                                              ThreadState::NotStarted),
+      Granted(NumThreads, false), KillRequested(NumThreads, false) {}
+
+void InterleaveScheduler::park(std::uint32_t Tid) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (FreeRun)
+    return;
+  States[Tid] = ThreadState::Parked;
+  ControllerCv.notify_all();
+  WorkerCv.wait(Lock, [&] { return Granted[Tid] || FreeRun; });
+  Granted[Tid] = false;
+  if (KillRequested[Tid]) {
+    // Crash at this access point: unwind without performing the access.
+    States[Tid] = ThreadState::Running;
+    Lock.unlock();
+    throw SimulatedCrash{};
+  }
+  States[Tid] = ThreadState::Running;
+}
+
+void InterleaveScheduler::markFinished(std::uint32_t Tid) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  States[Tid] = ThreadState::Finished;
+  ControllerCv.notify_all();
+}
+
+InterleaveScheduler::RunTrace
+InterleaveScheduler::run(const std::vector<std::function<void()>> &Bodies,
+                         PickFn Pick) {
+  assert(Bodies.size() == N && "one body per controlled thread");
+  RunTrace Trace;
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(N);
+  for (std::uint32_t Tid = 0; Tid < N; ++Tid) {
+    Workers.emplace_back([this, Tid, &Bodies] {
+      SchedulerThreadHook Hook(*this, Tid);
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        States[Tid] = ThreadState::Running;
+      }
+      try {
+        SchedHookScope Scope(Hook);
+        Bodies[Tid]();
+      } catch (const SimulatedCrash &) {
+        // The crashed thread simply stops; shared memory keeps whatever
+        // prefix of its accesses already executed.
+      }
+      markFinished(Tid);
+    });
+  }
+
+  // Controller loop: each iteration grants one shared-memory access.
+  std::uint64_t Steps = 0;
+  while (true) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    ControllerCv.wait(Lock, [&] {
+      return std::none_of(States.begin(), States.end(), [](ThreadState S) {
+        return S == ThreadState::NotStarted || S == ThreadState::Running;
+      });
+    });
+
+    std::vector<std::uint32_t> Parked;
+    for (std::uint32_t Tid = 0; Tid < N; ++Tid)
+      if (States[Tid] == ThreadState::Parked)
+        Parked.push_back(Tid);
+
+    if (Parked.empty())
+      break; // Everyone finished.
+
+    if (++Steps > StepCap) {
+      // Divergent schedule (e.g. an unfair loop): stop gating and let the
+      // remaining threads run to completion on the OS scheduler.
+      Trace.HitStepCap = true;
+      FreeRun = true;
+      WorkerCv.notify_all();
+      break;
+    }
+
+    const std::uint32_t Picked = Pick(Trace.Decisions.size(), Parked);
+    const bool Kill = (Picked & KillFlag) != 0;
+    const std::uint32_t Chosen = Picked & ~KillFlag;
+    assert(std::find(Parked.begin(), Parked.end(), Chosen) != Parked.end() &&
+           "policy must pick a parked thread");
+    Trace.Decisions.push_back(Decision{Parked, Picked});
+    KillRequested[Chosen] = Kill;
+    Granted[Chosen] = true;
+    States[Chosen] = ThreadState::Running;
+    WorkerCv.notify_all();
+  }
+
+  for (std::thread &Worker : Workers)
+    Worker.join();
+  return Trace;
+}
+
+} // namespace csobj

@@ -1,0 +1,126 @@
+//===- sched/InterleaveScheduler.h - Step-controlled execution --*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The controller half of the interleaving explorer. Worker threads run
+/// the real algorithm code, but every AtomicRegister access first parks
+/// at the scheduler (via the memory/SchedHook.h channel). The controller
+/// waits until every live thread is parked or finished, then grants
+/// exactly one thread its next shared-memory access. An execution is thus
+/// fully determined by the sequence of grants — a *schedule* — which the
+/// Explorer (sched/Explorer.h) enumerates exhaustively or samples
+/// randomly.
+///
+/// This turns the paper's informal "processes are asynchronous, any
+/// interleaving of shared accesses may happen" model into a mechanically
+/// checkable one: for bounded scenarios we can visit every interleaving
+/// and assert linearizability, abort semantics and doorway fairness on
+/// each.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_SCHED_INTERLEAVESCHEDULER_H
+#define CSOBJ_SCHED_INTERLEAVESCHEDULER_H
+
+#include "memory/SchedHook.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace csobj {
+
+/// One controlled execution. Construct, then call run() with the thread
+/// bodies and a policy that picks the next thread at each step.
+class InterleaveScheduler {
+public:
+  /// Picks the next thread to grant from \p Parked (non-empty, sorted
+  /// ascending); returns the chosen tid, optionally OR-ed with KillFlag
+  /// to *crash* that thread instead: the thread is unwound at its parked
+  /// access point, modelling the paper's Section 5 process-crash fault
+  /// (the access never executes; whatever prefix ran stays in shared
+  /// memory). \p Step is the 0-based decision index.
+  using PickFn =
+      std::function<std::uint32_t(std::size_t Step,
+                                  const std::vector<std::uint32_t> &Parked)>;
+
+  /// OR into a PickFn result to crash the chosen thread at its parked
+  /// access point instead of granting the access.
+  static constexpr std::uint32_t KillFlag = 0x80000000u;
+
+  /// Record of one decision point: which threads were available and which
+  /// was granted.
+  struct Decision {
+    std::vector<std::uint32_t> Available;
+    std::uint32_t Chosen = 0;
+  };
+
+  /// Outcome of one controlled run.
+  struct RunTrace {
+    std::vector<Decision> Decisions;
+    bool HitStepCap = false;
+  };
+
+  explicit InterleaveScheduler(std::uint32_t NumThreads,
+                               std::uint64_t StepCap = 100000);
+
+  /// Executes \p Bodies (one per thread) under control of \p Pick.
+  /// Returns the decision trace. Blocks until all threads finish (or the
+  /// step cap fires, in which case remaining threads are released to run
+  /// freely so they can terminate).
+  RunTrace run(const std::vector<std::function<void()>> &Bodies, PickFn Pick);
+
+private:
+  friend class SchedulerThreadHook;
+
+  /// Called by worker threads before each shared access.
+  void park(std::uint32_t Tid);
+  void markFinished(std::uint32_t Tid);
+
+  enum class ThreadState : std::uint8_t {
+    NotStarted,
+    Running,
+    Parked,
+    Finished
+  };
+
+  const std::uint32_t N;
+  const std::uint64_t StepCap;
+
+  std::mutex Mutex;
+  std::condition_variable ControllerCv;
+  std::condition_variable WorkerCv;
+  std::vector<ThreadState> States;
+  std::vector<bool> Granted;
+  std::vector<bool> KillRequested;
+  bool FreeRun = false; ///< Step cap hit: stop gating accesses.
+};
+
+/// Thrown inside a controlled thread to unwind it at a crash point.
+/// Caught by the scheduler's worker wrapper; never escapes run().
+struct SimulatedCrash {};
+
+/// Per-thread hook connecting AtomicRegister accesses to the scheduler.
+class SchedulerThreadHook final : public SchedHook {
+public:
+  SchedulerThreadHook(InterleaveScheduler &Scheduler, std::uint32_t Tid)
+      : Scheduler(Scheduler), Tid(Tid) {}
+
+  void beforeSharedAccess(AccessKind Kind) override {
+    (void)Kind;
+    Scheduler.park(Tid);
+  }
+
+private:
+  InterleaveScheduler &Scheduler;
+  std::uint32_t Tid;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_SCHED_INTERLEAVESCHEDULER_H

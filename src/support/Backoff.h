@@ -1,0 +1,69 @@
+//===- support/Backoff.h - Randomized exponential backoff -------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized exponential backoff, the simplest contention manager the
+/// paper's Section 5 alludes to. Used by baseline lock-free structures
+/// (Treiber, elimination stack) and available as an optional retry policy
+/// for the non-blocking stack of Figure 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_SUPPORT_BACKOFF_H
+#define CSOBJ_SUPPORT_BACKOFF_H
+
+#include "support/SpinWait.h"
+#include "support/SplitMix64.h"
+
+#include <cstdint>
+
+namespace csobj {
+
+/// Capped randomized exponential backoff. Each failure doubles the window
+/// (up to \p MaxWindow) and waits a uniformly random number of relax hints
+/// drawn from it.
+class ExponentialBackoff {
+public:
+  explicit ExponentialBackoff(std::uint32_t MinWindow = 4,
+                              std::uint32_t MaxWindow = 1024,
+                              std::uint64_t Seed = 0x5bd1e995u)
+      : Window(MinWindow), Floor(MinWindow), Cap(MaxWindow), Rng(Seed) {}
+
+  /// Waits for a random duration within the current window and widens it.
+  void onFailure() {
+    const std::uint64_t Steps = Rng.below(Window) + 1;
+    for (std::uint64_t I = 0; I < Steps; ++I)
+      cpuRelax();
+    if (Window < Cap)
+      Window *= 2;
+    // Beyond the cap we still want to stop burning a shared core: on an
+    // oversubscribed host the CAS owner may need our timeslice.
+    if (Window >= Cap)
+      std::this_thread::yield();
+  }
+
+  /// Shrinks the window back to the floor after a success.
+  void onSuccess() { Window = Floor; }
+
+  std::uint32_t window() const { return Window; }
+
+private:
+  std::uint32_t Window;
+  std::uint32_t Floor;
+  std::uint32_t Cap;
+  SplitMix64 Rng;
+};
+
+/// A no-op retry policy: retry immediately. Matches the literal text of
+/// Figure 2 ("repeat ... until res != bottom").
+struct NoBackoff {
+  void onFailure() { cpuRelax(); }
+  void onSuccess() {}
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_SUPPORT_BACKOFF_H

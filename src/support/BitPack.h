@@ -1,0 +1,109 @@
+//===- support/BitPack.h - Bit-field packing for CAS words ------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal, "Looking for
+// Efficient Implementations of Concurrent Objects" (IRISA PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time bit-field packing utilities. The stack algorithms of the
+/// paper require multi-field registers (e.g. TOP = <index, value, seqnb>)
+/// that can be updated with a single Compare&Swap. These helpers pack and
+/// unpack such fields into one 64-bit (or 128-bit) machine word with all
+/// widths checked at compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_SUPPORT_BITPACK_H
+#define CSOBJ_SUPPORT_BITPACK_H
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace csobj {
+
+/// Returns a mask with the low \p Bits bits set. \p Bits must be in [1, 64].
+template <typename WordT>
+constexpr WordT lowBitMask(unsigned Bits) {
+  constexpr unsigned WordBits = sizeof(WordT) * 8;
+  static_assert(std::is_unsigned_v<WordT>, "mask requires unsigned word");
+  return Bits >= WordBits ? ~WordT{0} : ((WordT{1} << Bits) - WordT{1});
+}
+
+/// A single field inside a packed word: \p Shift low bit position and
+/// \p Bits width. Field values are always handled zero-extended in the
+/// word type.
+template <typename WordT, unsigned Shift, unsigned Bits>
+struct BitField {
+  static_assert(std::is_unsigned_v<WordT>, "packed words must be unsigned");
+  static_assert(Bits >= 1, "empty bit-field");
+  static_assert(Shift + Bits <= sizeof(WordT) * 8, "field exceeds word");
+
+  static constexpr unsigned ShiftAmount = Shift;
+  static constexpr unsigned Width = Bits;
+  static constexpr WordT ValueMask = lowBitMask<WordT>(Bits);
+
+  /// Largest value representable in this field.
+  static constexpr WordT maxValue() { return ValueMask; }
+
+  /// Extracts the field from \p Word.
+  static constexpr WordT get(WordT Word) {
+    return (Word >> Shift) & ValueMask;
+  }
+
+  /// Returns \p Word with the field replaced by \p Value.
+  static constexpr WordT set(WordT Word, WordT Value) {
+    assert((Value & ~ValueMask) == 0 && "bit-field value out of range");
+    return (Word & ~(ValueMask << Shift)) | (Value << Shift);
+  }
+
+  /// Encodes \p Value as this field's contribution to a fresh word.
+  static constexpr WordT encode(WordT Value) {
+    assert((Value & ~ValueMask) == 0 && "bit-field value out of range");
+    return Value << Shift;
+  }
+};
+
+/// Packs three logical fields <A, B, C> laid out from bit 0 upward into a
+/// single unsigned word. Used for the paper's TOP register (three fields)
+/// with A=index, B=seqnb, C=value.
+template <typename WordT, unsigned ABits, unsigned BBits, unsigned CBits>
+struct PackedTriple {
+  static_assert(ABits + BBits + CBits == sizeof(WordT) * 8,
+                "triple must fill the word exactly");
+
+  using FieldA = BitField<WordT, 0, ABits>;
+  using FieldB = BitField<WordT, ABits, BBits>;
+  using FieldC = BitField<WordT, ABits + BBits, CBits>;
+
+  static constexpr WordT pack(WordT A, WordT B, WordT C) {
+    return FieldA::encode(A) | FieldB::encode(B) | FieldC::encode(C);
+  }
+
+  static constexpr WordT a(WordT Word) { return FieldA::get(Word); }
+  static constexpr WordT b(WordT Word) { return FieldB::get(Word); }
+  static constexpr WordT c(WordT Word) { return FieldC::get(Word); }
+};
+
+/// Packs two logical fields <A, B> into a single unsigned word. Used for
+/// the paper's STACK[x] registers (<val, sn> pairs).
+template <typename WordT, unsigned ABits, unsigned BBits>
+struct PackedPair {
+  static_assert(ABits + BBits == sizeof(WordT) * 8,
+                "pair must fill the word exactly");
+
+  using FieldA = BitField<WordT, 0, ABits>;
+  using FieldB = BitField<WordT, ABits, BBits>;
+
+  static constexpr WordT pack(WordT A, WordT B) {
+    return FieldA::encode(A) | FieldB::encode(B);
+  }
+
+  static constexpr WordT a(WordT Word) { return FieldA::get(Word); }
+  static constexpr WordT b(WordT Word) { return FieldB::get(Word); }
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_SUPPORT_BITPACK_H

@@ -1,0 +1,40 @@
+//===- support/CacheLine.h - False-sharing avoidance ------------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line sizing and a padded wrapper. Registers that the paper keeps
+/// logically separate (FLAG[i] of distinct processes, TURN, CONTENTION,
+/// the lock word) are placed on distinct cache lines so that measured
+/// contention reflects the algorithm, not accidental false sharing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_SUPPORT_CACHELINE_H
+#define CSOBJ_SUPPORT_CACHELINE_H
+
+#include <cstddef>
+#include <new>
+
+namespace csobj {
+
+/// Fixed at 64 bytes (x86-64 / common AArch64). A constant is preferred
+/// over std::hardware_destructive_interference_size, whose value can vary
+/// across compiler versions and tuning flags.
+inline constexpr std::size_t CacheLineSize = 64;
+
+/// Wraps \p T padded out to a full cache line. Access the payload through
+/// value().
+template <typename T>
+struct alignas(CacheLineSize) CacheLinePadded {
+  T Payload{};
+
+  T &value() { return Payload; }
+  const T &value() const { return Payload; }
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_SUPPORT_CACHELINE_H

@@ -1,0 +1,79 @@
+//===- support/SpinWait.h - Oversubscription-safe busy waiting --*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Escalating spin-wait helper. The paper's algorithms contain unbounded
+/// busy-wait loops (the line-05 doorway wait of Figure 3, lock acquisition
+/// loops, non-blocking retry loops). On an oversubscribed or single-core
+/// host a naive spin can delay the very thread it is waiting for, so every
+/// library spin loop goes through SpinWait, which escalates
+/// pause -> sched yield -> short sleep. This preserves the paper's liveness
+/// arguments under any fair OS scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_SUPPORT_SPINWAIT_H
+#define CSOBJ_SUPPORT_SPINWAIT_H
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace csobj {
+
+/// Emits a CPU pause/relax hint where available.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Per-wait-site escalation state. Construct one before a spin loop and
+/// call once() each time the awaited condition is found false.
+class SpinWait {
+public:
+  /// Number of pause-only iterations before escalating to yields.
+  static constexpr std::uint32_t PauseIterations = 64;
+  /// Number of yield iterations before escalating to sleeps.
+  static constexpr std::uint32_t YieldIterations = 64;
+
+  void once() {
+    ++Spins;
+    if (Spins <= PauseIterations) {
+      cpuRelax();
+      return;
+    }
+    if (Spins <= PauseIterations + YieldIterations) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  /// Resets escalation, e.g. after observing forward progress.
+  void reset() { Spins = 0; }
+
+  std::uint32_t spinCount() const { return Spins; }
+
+private:
+  std::uint32_t Spins = 0;
+};
+
+/// Spins until \p Condition() is true, escalating politely.
+template <typename ConditionFn>
+void spinUntil(ConditionFn Condition) {
+  SpinWait Waiter;
+  while (!Condition())
+    Waiter.once();
+}
+
+} // namespace csobj
+
+#endif // CSOBJ_SUPPORT_SPINWAIT_H

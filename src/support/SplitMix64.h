@@ -1,0 +1,66 @@
+//===- support/SplitMix64.h - Small deterministic PRNG ----------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a tiny, fast, statistically solid PRNG used by workload
+/// generators and property tests. Deterministic given a seed, trivially
+/// splittable per thread (seed + thread id), and allocation free, which
+/// keeps benchmark inner loops clean of library PRNG overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_SUPPORT_SPLITMIX64_H
+#define CSOBJ_SUPPORT_SPLITMIX64_H
+
+#include <cstdint>
+
+namespace csobj {
+
+/// SplitMix64 generator (Steele, Lea & Flood; public-domain reference
+/// constants). Satisfies UniformRandomBitGenerator.
+class SplitMix64 {
+public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t Seed = 0x9e3779b97f4a7c15ull)
+      : State(Seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    std::uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero. Uses the
+  /// widening-multiply trick to avoid modulo bias for small bounds.
+  std::uint64_t below(std::uint64_t Bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * Bound) >> 64);
+  }
+
+  /// Returns true with probability \p Numerator / \p Denominator.
+  bool chance(std::uint64_t Numerator, std::uint64_t Denominator) {
+    return below(Denominator) < Numerator;
+  }
+
+  /// Derives an independent stream for a given worker index.
+  SplitMix64 split(std::uint64_t WorkerIndex) const {
+    SplitMix64 Derived(State ^ (0x632be59bd9b4e019ull * (WorkerIndex + 1)));
+    Derived(); // Warm up so adjacent workers decorrelate immediately.
+    return Derived;
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_SUPPORT_SPLITMIX64_H

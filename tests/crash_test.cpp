@@ -1,0 +1,256 @@
+//===- tests/crash_test.cpp - Process-crash fault injection --------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 5: "these algorithms still work despite process
+/// crashes if no process crashes while holding the lock". The scheduler
+/// can crash a controlled thread at *any* shared-access point (the
+/// access does not execute; the prefix that ran stays in shared memory),
+/// so the claim is tested at every crash point of every operation:
+///
+///  * Figures 1/2 and the companion queue/deque are lock-free: a process
+///    crashing anywhere leaves the object fully usable — the next
+///    operation's help completes any published-but-lazy write.
+///  * Figure 3's fast path (lines 01-03) holds no lock: crashing there
+///    is tolerated.
+///  * Crashing while *competing* (FLAG raised) or holding the lock is
+///    NOT tolerated — TURN can stick on the crashed process. That is the
+///    paper's own caveat; the boundary is documented here and in
+///    EXPERIMENTS.md rather than tested (the victim would block forever).
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/InterleaveScheduler.h"
+
+#include "baselines/MichaelScottQueue.h"
+#include "baselines/TreiberStack.h"
+#include "core/AbortableQueue.h"
+#include "core/AbortableStack.h"
+#include "core/ContentionSensitiveStack.h"
+#include "core/ObstructionFreeDeque.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace csobj {
+namespace {
+
+/// Runs \p Body under the scheduler, crashing it at its (K+1)-th shared
+/// access (K = number of accesses that complete first). Returns the
+/// number of decision points taken, so callers can discover the access
+/// count by passing a huge K.
+std::size_t runAndCrashAt(std::function<void()> Body, std::uint32_t K) {
+  InterleaveScheduler Scheduler(1);
+  const auto Trace = Scheduler.run(
+      {std::move(Body)},
+      [K](std::size_t Step, const std::vector<std::uint32_t> &Parked)
+          -> std::uint32_t {
+        if (Step == K)
+          return Parked.front() | InterleaveScheduler::KillFlag;
+        return Parked.front();
+      });
+  return Trace.Decisions.size();
+}
+
+//===----------------------------------------------------------------------===
+// Figure 1: crash at every prefix of weak_push / weak_pop
+//===----------------------------------------------------------------------===
+
+TEST(CrashTest, AbortableStackSurvivesPushCrashAtEveryPoint) {
+  // weak_push performs 5 accesses; crash before each and after all.
+  for (std::uint32_t K = 0; K <= 5; ++K) {
+    AbortableStack<> Stack(8);
+    ASSERT_EQ(Stack.weakPush(1), PushResult::Done); // Pre-existing state.
+    runAndCrashAt([&Stack] { (void)Stack.weakPush(7); }, K);
+
+    // The survivor must be able to operate normally (solo: no aborts).
+    ASSERT_EQ(Stack.weakPush(99), PushResult::Done);
+    const auto Top = Stack.weakPop();
+    ASSERT_TRUE(Top.isValue());
+    ASSERT_EQ(Top.value(), 99u);
+    // Next value is 7 iff the crashed push reached its TOP C&S (the
+    // 5th access) — all-or-nothing, never a corrupted in-between.
+    const auto Second = Stack.weakPop();
+    ASSERT_TRUE(Second.isValue());
+    if (K >= 5) {
+      ASSERT_EQ(Second.value(), 7u);
+      const auto Third = Stack.weakPop();
+      ASSERT_TRUE(Third.isValue());
+      ASSERT_EQ(Third.value(), 1u);
+    } else {
+      ASSERT_EQ(Second.value(), 1u);
+    }
+    ASSERT_TRUE(Stack.weakPop().isEmpty());
+  }
+}
+
+TEST(CrashTest, AbortableStackSurvivesPopCrashAtEveryPoint) {
+  for (std::uint32_t K = 0; K <= 5; ++K) {
+    AbortableStack<> Stack(8);
+    ASSERT_EQ(Stack.weakPush(1), PushResult::Done);
+    ASSERT_EQ(Stack.weakPush(2), PushResult::Done);
+    runAndCrashAt([&Stack] { (void)Stack.weakPop(); }, K);
+
+    // Either the pop took effect (2 gone) or it did not — drain checks.
+    std::vector<std::uint32_t> Drained;
+    while (true) {
+      const auto R = Stack.weakPop();
+      if (!R.isValue())
+        break;
+      Drained.push_back(R.value());
+    }
+    if (K >= 5)
+      ASSERT_EQ(Drained, (std::vector<std::uint32_t>{1}));
+    else
+      ASSERT_EQ(Drained, (std::vector<std::uint32_t>{2, 1}));
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Queue and deque: crash at every prefix
+//===----------------------------------------------------------------------===
+
+TEST(CrashTest, AbortableQueueSurvivesEnqueueCrashAtEveryPoint) {
+  for (std::uint32_t K = 0; K <= 6; ++K) {
+    AbortableQueue<> Queue(8);
+    ASSERT_EQ(Queue.weakEnqueue(1), PushResult::Done);
+    runAndCrashAt([&Queue] { (void)Queue.weakEnqueue(7); }, K);
+
+    ASSERT_EQ(Queue.weakEnqueue(99), PushResult::Done);
+    std::vector<std::uint32_t> Drained;
+    while (true) {
+      const auto R = Queue.weakDequeue();
+      if (!R.isValue())
+        break;
+      Drained.push_back(R.value());
+    }
+    if (K >= 6)
+      ASSERT_EQ(Drained, (std::vector<std::uint32_t>{1, 7, 99}));
+    else
+      ASSERT_EQ(Drained, (std::vector<std::uint32_t>{1, 99}));
+  }
+}
+
+TEST(CrashTest, AbortableQueueSurvivesDequeueCrashAtEveryPoint) {
+  for (std::uint32_t K = 0; K <= 6; ++K) {
+    AbortableQueue<> Queue(8);
+    ASSERT_EQ(Queue.weakEnqueue(1), PushResult::Done);
+    ASSERT_EQ(Queue.weakEnqueue(2), PushResult::Done);
+    runAndCrashAt([&Queue] { (void)Queue.weakDequeue(); }, K);
+
+    std::vector<std::uint32_t> Drained;
+    while (true) {
+      const auto R = Queue.weakDequeue();
+      if (!R.isValue())
+        break;
+      Drained.push_back(R.value());
+    }
+    if (K >= 6)
+      ASSERT_EQ(Drained, (std::vector<std::uint32_t>{2}));
+    else
+      ASSERT_EQ(Drained, (std::vector<std::uint32_t>{1, 2}));
+  }
+}
+
+TEST(CrashTest, HlmDequeSurvivesPushCrashBetweenItsTwoCas) {
+  // The HLM push fences a neighbour (CAS 1) before installing the value
+  // (CAS 2); crashing between the two must leave only a harmless
+  // counter bump. Sweep every prefix; the op's access count depends on
+  // the oracle scan, so discover it first.
+  ObstructionFreeDeque Probe(4, 2);
+  const std::size_t Accesses =
+      runAndCrashAt([&Probe] { (void)Probe.tryPushRight(7); }, 1000);
+  ASSERT_GT(Accesses, 2u);
+
+  for (std::uint32_t K = 0; K <= Accesses; ++K) {
+    ObstructionFreeDeque Deque(4, 2);
+    runAndCrashAt([&Deque] { (void)Deque.tryPushRight(7); }, K);
+    // Survivor: solo ops never abort, state is all-or-nothing.
+    const std::uint32_t Size = Deque.sizeForTesting();
+    ASSERT_LE(Size, 1u);
+    ASSERT_EQ(Deque.tryPushLeft(5), PushResult::Done);
+    ASSERT_EQ(Deque.tryPushRight(6), PushResult::Done);
+    const auto R = Deque.tryPopRight();
+    ASSERT_TRUE(R.isValue());
+    ASSERT_EQ(R.value(), 6u);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Lock-free baselines
+//===----------------------------------------------------------------------===
+
+TEST(CrashTest, TreiberSurvivesPushCrashAtEveryPoint) {
+  // A crash can strand the node the crashed push had acquired (bounded
+  // leak of one slot — inherent to crashes with a free list) but the
+  // structure itself must stay consistent.
+  for (std::uint32_t K = 0; K <= 8; ++K) {
+    TreiberStack Stack(4);
+    ASSERT_EQ(Stack.push(1), PushResult::Done);
+    runAndCrashAt([&Stack] { (void)Stack.push(7); }, K);
+
+    ASSERT_EQ(Stack.push(99), PushResult::Done);
+    std::vector<std::uint32_t> Drained;
+    while (true) {
+      const auto R = Stack.pop();
+      if (!R.isValue())
+        break;
+      Drained.push_back(R.value());
+    }
+    ASSERT_GE(Drained.size(), 2u);
+    ASSERT_EQ(Drained.front(), 99u);
+    ASSERT_EQ(Drained.back(), 1u);
+  }
+}
+
+TEST(CrashTest, MichaelScottSurvivesEnqueueCrashAtEveryPoint) {
+  // Includes the classic window: crash after linking the node but
+  // before swinging the tail — the next operation must help.
+  for (std::uint32_t K = 0; K <= 10; ++K) {
+    MichaelScottQueue Queue(4);
+    ASSERT_EQ(Queue.enqueue(1), PushResult::Done);
+    runAndCrashAt([&Queue] { (void)Queue.enqueue(7); }, K);
+
+    ASSERT_EQ(Queue.enqueue(99), PushResult::Done);
+    std::vector<std::uint32_t> Drained;
+    while (true) {
+      const auto R = Queue.dequeue();
+      if (!R.isValue())
+        break;
+      Drained.push_back(R.value());
+    }
+    ASSERT_GE(Drained.size(), 2u);
+    ASSERT_EQ(Drained.front(), 1u);
+    ASSERT_EQ(Drained.back(), 99u);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Figure 3: crash on the lock-free fast path is tolerated
+//===----------------------------------------------------------------------===
+
+TEST(CrashTest, Figure3SurvivesFastPathCrash) {
+  // The fast path is lines 01-03: one CONTENTION read + one weak
+  // attempt (6 accesses total when it succeeds). Crashing anywhere in
+  // it leaves no lock held and no flag raised.
+  for (std::uint32_t K = 0; K <= 6; ++K) {
+    ContentionSensitiveStack<> Stack(2, 8);
+    runAndCrashAt([&Stack] { (void)Stack.push(0, 7); }, K);
+
+    // The survivor (different process id) proceeds unhindered.
+    ASSERT_EQ(Stack.push(1, 99), PushResult::Done);
+    const auto R = Stack.pop(1);
+    ASSERT_TRUE(R.isValue());
+    ASSERT_EQ(R.value(), 99u);
+    ASSERT_FALSE(Stack.skeleton().contentionForTesting());
+  }
+}
+
+} // namespace
+} // namespace csobj

@@ -1,0 +1,253 @@
+//===- tests/memory_test.cpp - memory/ substrate unit tests --------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/AccessCounter.h"
+#include "memory/AtomicRegister.h"
+#include "memory/SchedHook.h"
+#include "memory/TaggedValue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace csobj {
+namespace {
+
+//===----------------------------------------------------------------------===
+// AtomicRegister semantics
+//===----------------------------------------------------------------------===
+
+TEST(AtomicRegisterTest, ReadWriteRoundTrip) {
+  AtomicRegister<std::uint64_t> Reg(5);
+  EXPECT_EQ(Reg.read(), 5u);
+  Reg.write(9);
+  EXPECT_EQ(Reg.read(), 9u);
+}
+
+TEST(AtomicRegisterTest, CasSucceedsOnMatch) {
+  AtomicRegister<std::uint32_t> Reg(1);
+  EXPECT_TRUE(Reg.compareAndSwap(1, 2));
+  EXPECT_EQ(Reg.read(), 2u);
+}
+
+TEST(AtomicRegisterTest, CasFailsOnMismatchAndLeavesValue) {
+  AtomicRegister<std::uint32_t> Reg(1);
+  EXPECT_FALSE(Reg.compareAndSwap(7, 2));
+  EXPECT_EQ(Reg.read(), 1u);
+}
+
+TEST(AtomicRegisterTest, CasValueReportsWitness) {
+  AtomicRegister<std::uint32_t> Reg(41);
+  std::uint32_t Expected = 0;
+  EXPECT_FALSE(Reg.compareAndSwapValue(Expected, 99));
+  EXPECT_EQ(Expected, 41u); // The machine flavour returning the old value.
+  EXPECT_TRUE(Reg.compareAndSwapValue(Expected, 99));
+  EXPECT_EQ(Reg.read(), 99u);
+}
+
+TEST(AtomicRegisterTest, ExchangeReturnsPrevious) {
+  AtomicRegister<std::uint8_t> Reg(0);
+  EXPECT_EQ(Reg.exchange(1), 0u);
+  EXPECT_EQ(Reg.exchange(0), 1u);
+}
+
+TEST(AtomicRegisterTest, FetchAddAccumulates) {
+  AtomicRegister<std::uint32_t> Reg(10);
+  EXPECT_EQ(Reg.fetchAdd(5), 10u);
+  EXPECT_EQ(Reg.read(), 15u);
+}
+
+TEST(AtomicRegisterTest, Wide128CasWorks) {
+  using Word = unsigned __int128;
+  const Word A = (static_cast<Word>(1) << 100) | 7;
+  const Word B = (static_cast<Word>(2) << 100) | 9;
+  AtomicRegister<Word> Reg(A);
+  EXPECT_FALSE(Reg.compareAndSwap(B, A));
+  EXPECT_TRUE(Reg.compareAndSwap(A, B));
+  EXPECT_TRUE(Reg.read() == B);
+}
+
+TEST(AtomicRegisterTest, ConcurrentCasIncrementsLoseNothing) {
+  AtomicRegister<std::uint64_t> Counter(0);
+  constexpr int Threads = 4;
+  constexpr int PerThread = 5000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I) {
+        std::uint64_t Seen = Counter.read();
+        while (!Counter.compareAndSwapValue(Seen, Seen + 1)) {
+        }
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Counter.read(), static_cast<std::uint64_t>(Threads) * PerThread);
+}
+
+//===----------------------------------------------------------------------===
+// Access accounting
+//===----------------------------------------------------------------------===
+
+TEST(AccessCounterTest, CountsEachKind) {
+  AtomicRegister<std::uint32_t> Reg(0);
+  const AccessCounts Counts = countAccesses([&] {
+    (void)Reg.read();
+    Reg.write(1);
+    (void)Reg.compareAndSwap(1, 2); // Success.
+    (void)Reg.compareAndSwap(1, 3); // Failure.
+    (void)Reg.exchange(4);
+    (void)Reg.fetchAdd(1);
+  });
+  EXPECT_EQ(Counts.Reads, 1u);
+  EXPECT_EQ(Counts.Writes, 1u);
+  EXPECT_EQ(Counts.CasAttempts, 2u);
+  EXPECT_EQ(Counts.CasFailures, 1u);
+  EXPECT_EQ(Counts.Rmw, 2u);
+  EXPECT_EQ(Counts.total(), 6u);
+}
+
+TEST(AccessCounterTest, NoCountingWithoutScope) {
+  AtomicRegister<std::uint32_t> Reg(0);
+  AccessCounts Counts;
+  {
+    AccessCounterScope Scope(Counts);
+    (void)Reg.read();
+  }
+  (void)Reg.read(); // Outside the scope: not counted.
+  EXPECT_EQ(Counts.Reads, 1u);
+}
+
+TEST(AccessCounterTest, ScopesNestInnermostWins) {
+  AtomicRegister<std::uint32_t> Reg(0);
+  AccessCounts Outer, Inner;
+  {
+    AccessCounterScope OuterScope(Outer);
+    (void)Reg.read();
+    {
+      AccessCounterScope InnerScope(Inner);
+      (void)Reg.read();
+      (void)Reg.read();
+    }
+    (void)Reg.read();
+  }
+  EXPECT_EQ(Outer.Reads, 2u);
+  EXPECT_EQ(Inner.Reads, 2u);
+}
+
+TEST(AccessCounterTest, CountingIsPerThread) {
+  AtomicRegister<std::uint32_t> Reg(0);
+  AccessCounts Mine;
+  AccessCounterScope Scope(Mine);
+  std::thread Other([&] {
+    for (int I = 0; I < 100; ++I)
+      (void)Reg.read();
+  });
+  Other.join();
+  EXPECT_EQ(Mine.Reads, 0u); // The other thread had no scope installed.
+}
+
+TEST(AccessCounterTest, DeltaOperator) {
+  AccessCounts A, B;
+  A.Reads = 10;
+  A.CasAttempts = 4;
+  B.Reads = 3;
+  B.CasAttempts = 1;
+  const AccessCounts D = A - B;
+  EXPECT_EQ(D.Reads, 7u);
+  EXPECT_EQ(D.CasAttempts, 3u);
+}
+
+//===----------------------------------------------------------------------===
+// Sched hook plumbing
+//===----------------------------------------------------------------------===
+
+class CountingHook final : public SchedHook {
+public:
+  void beforeSharedAccess(AccessKind Kind) override {
+    ++Calls;
+    LastKind = Kind;
+  }
+  int Calls = 0;
+  AccessKind LastKind = AccessKind::Read;
+};
+
+TEST(SchedHookTest, HookSeesEveryAccess) {
+  AtomicRegister<std::uint32_t> Reg(0);
+  CountingHook Hook;
+  {
+    SchedHookScope Scope(Hook);
+    (void)Reg.read();
+    Reg.write(1);
+    (void)Reg.compareAndSwap(1, 2);
+  }
+  (void)Reg.read(); // Outside scope: not hooked.
+  EXPECT_EQ(Hook.Calls, 3);
+  EXPECT_EQ(Hook.LastKind, AccessKind::Cas);
+}
+
+//===----------------------------------------------------------------------===
+// Tagged codecs
+//===----------------------------------------------------------------------===
+
+TEST(TaggedValueTest, Compact64TopRoundTrip) {
+  using Top = Compact64::Top;
+  const TopFields<std::uint32_t> In{/*Index=*/123, /*Value=*/0xDEADBEE,
+                                    /*Seq=*/456};
+  const TopFields<std::uint32_t> Out = Top::unpack(Top::pack(In));
+  EXPECT_EQ(Out, In);
+}
+
+TEST(TaggedValueTest, Compact64SlotRoundTrip) {
+  using Slot = Compact64::Slot;
+  const SlotFields<std::uint32_t> In{/*Value=*/0xABCDEF1, /*Seq=*/0xFFFF};
+  const SlotFields<std::uint32_t> Out = Slot::unpack(Slot::pack(In));
+  EXPECT_EQ(Out, In);
+}
+
+TEST(TaggedValueTest, Compact64SeqArithmeticWraps) {
+  using Top = Compact64::Top;
+  EXPECT_EQ(Top::seqAdd(0, -1), 0xFFFFu);
+  EXPECT_EQ(Top::seqAdd(0xFFFF, 1), 0u);
+  EXPECT_EQ(Top::seqAdd(5, 1), 6u);
+}
+
+TEST(TaggedValueTest, Compact64Constants) {
+  using Top = Compact64::Top;
+  EXPECT_EQ(Top::Bottom, 0xFFFFFFFFu);
+  EXPECT_EQ(Top::MaxIndex, 0xFFFFu);
+  EXPECT_EQ(Top::SeqMask, 0xFFFFu);
+}
+
+TEST(TaggedValueTest, Wide128TopRoundTrip) {
+  using Top = Wide128::Top;
+  const TopFields<std::uint64_t> In{/*Index=*/0xFFFFFFFF,
+                                    /*Value=*/0x0123456789ABCDEFull,
+                                    /*Seq=*/0x89ABCDEF};
+  const TopFields<std::uint64_t> Out = Top::unpack(Top::pack(In));
+  EXPECT_EQ(Out, In);
+}
+
+TEST(TaggedValueTest, Wide128Constants) {
+  using Top = Wide128::Top;
+  EXPECT_EQ(Top::Bottom, ~std::uint64_t{0});
+  EXPECT_EQ(Top::MaxIndex, 0xFFFFFFFFu);
+}
+
+TEST(TaggedValueTest, DistinctFieldsDoNotAlias) {
+  using Top = Compact64::Top;
+  const auto W1 = Top::pack({1, 0, 0});
+  const auto W2 = Top::pack({0, 1, 0});
+  const auto W3 = Top::pack({0, 0, 1});
+  EXPECT_NE(W1, W2);
+  EXPECT_NE(W2, W3);
+  EXPECT_NE(W1, W3);
+}
+
+} // namespace
+} // namespace csobj

@@ -1,0 +1,496 @@
+//===- tests/sched_test.cpp - Interleaving explorer tests ----------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates the schedule-controlled execution machinery itself, then
+/// uses it to *prove bounded versions* of the paper's claims:
+///
+///  * every interleaving of two weak stack operations linearizes and
+///    aborted operations have no effect (Figure 1);
+///  * enqueue and dequeue on a non-empty, non-full queue never abort
+///    each other, under every interleaving (the Section 1 motivation);
+///  * the Figure 3 strong operations complete without bottom under
+///    randomized adversarial scheduling (starvation-freedom evidence);
+///  * mutual exclusion of the lock substrate under controlled schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/Explorer.h"
+
+#include "core/AbortableQueue.h"
+#include "core/AbortableStack.h"
+#include "core/ContentionSensitiveStack.h"
+#include "lincheck/Checker.h"
+#include "lincheck/Spec.h"
+#include "locks/TasLock.h"
+#include "memory/AtomicRegister.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace csobj {
+namespace {
+
+//===----------------------------------------------------------------------===
+// Machinery sanity
+//===----------------------------------------------------------------------===
+
+TEST(ExplorerTest, CountsInterleavingsOfIndependentAccesses) {
+  // Two threads, two shared accesses each: C(4,2) = 6 interleavings.
+  ScheduleExplorer Explorer;
+  const ExploreResult Result = Explorer.exploreAll([] {
+    auto Reg = std::make_shared<AtomicRegister<std::uint32_t>>(0);
+    ScenarioRun Run;
+    Run.Bodies.push_back([Reg] {
+      Reg->write(1);
+      Reg->write(2);
+    });
+    Run.Bodies.push_back([Reg] {
+      (void)Reg->read();
+      (void)Reg->read();
+    });
+    return Run;
+  });
+  EXPECT_TRUE(Result.Complete);
+  EXPECT_EQ(Result.Runs, 6u);
+  EXPECT_EQ(Result.MaxDepth, 4u);
+  EXPECT_EQ(Result.CappedRuns, 0u);
+}
+
+TEST(ExplorerTest, SingleThreadHasOneSchedule) {
+  ScheduleExplorer Explorer;
+  std::uint32_t Final = 0;
+  const ExploreResult Result = Explorer.exploreAll([&Final] {
+    auto Reg = std::make_shared<AtomicRegister<std::uint32_t>>(0);
+    ScenarioRun Run;
+    Run.Bodies.push_back([Reg] {
+      Reg->write(7);
+      (void)Reg->compareAndSwap(7, 9);
+    });
+    Run.PostCheck = [Reg, &Final] { Final = Reg->peekForTesting(); };
+    return Run;
+  });
+  EXPECT_TRUE(Result.Complete);
+  EXPECT_EQ(Result.Runs, 1u);
+  EXPECT_EQ(Final, 9u);
+}
+
+TEST(ExplorerTest, ThreeThreadsOneAccessEach) {
+  // 3! = 6 orderings.
+  ScheduleExplorer Explorer;
+  const ExploreResult Result = Explorer.exploreAll([] {
+    auto Reg = std::make_shared<AtomicRegister<std::uint32_t>>(0);
+    ScenarioRun Run;
+    for (int T = 0; T < 3; ++T)
+      Run.Bodies.push_back([Reg] { (void)Reg->read(); });
+    return Run;
+  });
+  EXPECT_EQ(Result.Runs, 6u);
+}
+
+TEST(ExplorerTest, RandomWalksRunRequestedCount) {
+  ScheduleExplorer Explorer;
+  const ExploreResult Result = Explorer.randomWalks(
+      [] {
+        auto Reg = std::make_shared<AtomicRegister<std::uint32_t>>(0);
+        ScenarioRun Run;
+        Run.Bodies.push_back([Reg] { Reg->write(1); });
+        Run.Bodies.push_back([Reg] { Reg->write(2); });
+        return Run;
+      },
+      25, /*Seed=*/7);
+  EXPECT_EQ(Result.Runs, 25u);
+  EXPECT_EQ(Result.CappedRuns, 0u);
+}
+
+TEST(ExplorerTest, RacingCasExactlyOneWinnerInEveryInterleaving) {
+  ScheduleExplorer Explorer;
+  std::uint64_t Failures = 0;
+  const ExploreResult Result = Explorer.exploreAll([&Failures] {
+    auto Reg = std::make_shared<AtomicRegister<std::uint32_t>>(0);
+    auto Wins = std::make_shared<std::vector<bool>>(2);
+    ScenarioRun Run;
+    for (std::uint32_t T = 0; T < 2; ++T)
+      Run.Bodies.push_back([Reg, Wins, T] {
+        (*Wins)[T] = Reg->compareAndSwap(0, T + 1);
+      });
+    Run.PostCheck = [Wins, &Failures] {
+      if ((*Wins)[0] + (*Wins)[1] != 1)
+        ++Failures;
+    };
+    return Run;
+  });
+  EXPECT_TRUE(Result.Complete);
+  EXPECT_EQ(Failures, 0u);
+  EXPECT_EQ(Result.Runs, 2u); // Two orders of the two C&S steps.
+}
+
+TEST(ExplorerTest, KillFlagCrashesThreadBeforeTheAccess) {
+  // A thread killed at its K-th access leaves exactly K-1... rather: a
+  // kill at decision step S unwinds the thread at that parked access;
+  // the access itself never executes.
+  InterleaveScheduler Scheduler(1);
+  AtomicRegister<std::uint32_t> Reg(0);
+  const auto Trace = Scheduler.run(
+      {[&Reg] {
+        Reg.write(1);
+        Reg.write(2); // Killed here: never executes.
+        Reg.write(3);
+      }},
+      [](std::size_t Step, const std::vector<std::uint32_t> &Parked)
+          -> std::uint32_t {
+        if (Step == 1)
+          return Parked.front() | InterleaveScheduler::KillFlag;
+        return Parked.front();
+      });
+  EXPECT_EQ(Trace.Decisions.size(), 2u);
+  EXPECT_EQ(Reg.peekForTesting(), 1u);
+}
+
+TEST(ExplorerTest, KilledThreadDoesNotBlockOthers) {
+  InterleaveScheduler Scheduler(2);
+  AtomicRegister<std::uint32_t> Reg(0);
+  std::uint32_t SurvivorSaw = 0;
+  (void)Scheduler.run(
+      {[&Reg] {
+         Reg.write(7); // Killed at this very first access.
+       },
+       [&Reg, &SurvivorSaw] {
+         Reg.write(5);
+         SurvivorSaw = Reg.read();
+       }},
+      [](std::size_t, const std::vector<std::uint32_t> &Parked)
+          -> std::uint32_t {
+        // Kill thread 0 whenever it is parked; run thread 1 otherwise.
+        if (Parked.front() == 0)
+          return 0 | InterleaveScheduler::KillFlag;
+        return Parked.front();
+      });
+  EXPECT_EQ(SurvivorSaw, 5u);
+  EXPECT_EQ(Reg.peekForTesting(), 5u);
+}
+
+//===----------------------------------------------------------------------===
+// Figure 1 under exhaustive interleaving
+//===----------------------------------------------------------------------===
+
+TEST(ExhaustiveStack, TwoConcurrentPushesAlwaysLinearize) {
+  ScheduleExplorer Explorer;
+  std::uint64_t Violations = 0;
+  std::uint64_t SoloAborts = 0;
+  const ExploreResult Result = Explorer.exploreAll([&] {
+    auto Stack = std::make_shared<AbortableStack<>>(4);
+    auto Results = std::make_shared<std::vector<PushResult>>(
+        2, PushResult::Abort);
+    ScenarioRun Run;
+    for (std::uint32_t T = 0; T < 2; ++T)
+      Run.Bodies.push_back([Stack, Results, T] {
+        (*Results)[T] = Stack->weakPush(T + 1);
+      });
+    Run.PostCheck = [Stack, Results, &Violations, &SoloAborts] {
+      const int Dones =
+          ((*Results)[0] == PushResult::Done) +
+          ((*Results)[1] == PushResult::Done);
+      // Non-blocking core property: at least one concurrent operation
+      // succeeds, and aborted pushes leave no trace.
+      if (Dones < 1)
+        ++SoloAborts;
+      if (Stack->sizeForTesting() != static_cast<std::uint32_t>(Dones))
+        ++Violations;
+      // Drain and verify only successful values are present.
+      std::uint32_t Popped = 0;
+      while (true) {
+        const auto R = Stack->weakPop();
+        if (!R.isValue())
+          break;
+        ++Popped;
+        const std::uint32_t V = R.value();
+        if (V != 1 && V != 2)
+          ++Violations;
+        if ((*Results)[V - 1] != PushResult::Done)
+          ++Violations; // An aborted push's value surfaced.
+      }
+      if (Popped != static_cast<std::uint32_t>(Dones))
+        ++Violations;
+    };
+    return Run;
+  });
+  EXPECT_TRUE(Result.Complete);
+  EXPECT_EQ(Violations, 0u);
+  EXPECT_EQ(SoloAborts, 0u) << "both concurrent pushes aborted somewhere";
+  EXPECT_GT(Result.Runs, 10u);
+}
+
+TEST(ExhaustiveStack, PushRacingPopLinearizesInEveryInterleaving) {
+  ScheduleExplorer Explorer;
+  std::uint64_t NotLinearizable = 0;
+  const ExploreResult Result = Explorer.exploreAll([&] {
+    auto Stack = std::make_shared<AbortableStack<>>(4);
+    // Prefill with 9 (solo, cannot abort).
+    EXPECT_EQ(Stack->weakPush(9), PushResult::Done);
+    auto PushRes = std::make_shared<PushResult>(PushResult::Abort);
+    auto PopRes = std::make_shared<PopResult<std::uint32_t>>(
+        PopResult<std::uint32_t>::abort());
+    ScenarioRun Run;
+    Run.Bodies.push_back(
+        [Stack, PushRes] { *PushRes = Stack->weakPush(5); });
+    Run.Bodies.push_back([Stack, PopRes] { *PopRes = Stack->weakPop(); });
+    Run.PostCheck = [&NotLinearizable, PushRes, PopRes] {
+      // Build the completed-op history: prefill strictly precedes the
+      // two racing operations, which fully overlap each other.
+      History H;
+      Operation Prefill;
+      Prefill.Tid = 0;
+      Prefill.Code = OpCode::Push;
+      Prefill.Arg = 9;
+      Prefill.Result = ResCode::Done;
+      Prefill.InvokeNs = 0;
+      Prefill.ResponseNs = 1;
+      H.Ops.push_back(Prefill);
+      if (*PushRes == PushResult::Done) {
+        Operation Op;
+        Op.Tid = 1;
+        Op.Code = OpCode::Push;
+        Op.Arg = 5;
+        Op.Result = ResCode::Done;
+        Op.InvokeNs = 10;
+        Op.ResponseNs = 20;
+        H.Ops.push_back(Op);
+      }
+      if (!PopRes->isAbort()) {
+        Operation Op;
+        Op.Tid = 2;
+        Op.Code = OpCode::Pop;
+        Op.Result = PopRes->isValue() ? ResCode::Value : ResCode::Empty;
+        if (PopRes->isValue())
+          Op.RetValue = PopRes->value();
+        Op.InvokeNs = 10;
+        Op.ResponseNs = 20;
+        H.Ops.push_back(Op);
+      }
+      if (!checkLinearizable(H, BoundedStackSpec(4)).Linearizable)
+        ++NotLinearizable;
+    };
+    return Run;
+  });
+  EXPECT_TRUE(Result.Complete);
+  EXPECT_EQ(NotLinearizable, 0u);
+  EXPECT_GT(Result.Runs, 10u);
+}
+
+TEST(ExhaustiveStack, TwoPopsOnTwoElementsNeverDuplicate) {
+  ScheduleExplorer Explorer;
+  std::uint64_t Violations = 0;
+  const ExploreResult Result = Explorer.exploreAll([&] {
+    auto Stack = std::make_shared<AbortableStack<>>(4);
+    EXPECT_EQ(Stack->weakPush(1), PushResult::Done);
+    EXPECT_EQ(Stack->weakPush(2), PushResult::Done);
+    auto Res = std::make_shared<std::vector<PopResult<std::uint32_t>>>(
+        2, PopResult<std::uint32_t>::abort());
+    ScenarioRun Run;
+    for (std::uint32_t T = 0; T < 2; ++T)
+      Run.Bodies.push_back(
+          [Stack, Res, T] { (*Res)[T] = Stack->weakPop(); });
+    Run.PostCheck = [Stack, Res, &Violations] {
+      std::vector<std::uint32_t> Got;
+      for (const auto &R : *Res)
+        if (R.isValue())
+          Got.push_back(R.value());
+      // At least one pop succeeds (non-blocking core); no duplicates;
+      // LIFO: a single success must take the top (2); two successes
+      // take 2 then 1 in some order.
+      if (Got.empty())
+        ++Violations;
+      if (Got.size() == 1 && Got[0] != 2)
+        ++Violations;
+      if (Got.size() == 2 &&
+          !((Got[0] == 2 && Got[1] == 1) || (Got[0] == 1 && Got[1] == 2)))
+        ++Violations;
+      if (Stack->sizeForTesting() != 2 - Got.size())
+        ++Violations;
+    };
+    return Run;
+  });
+  EXPECT_TRUE(Result.Complete);
+  EXPECT_EQ(Violations, 0u);
+}
+
+TEST(ExhaustiveStack, HelpCompletesLazyWriteInEveryInterleaving) {
+  // After a successful push published <1, v, sn> in TOP, the *next*
+  // operation must install v into STACK[1] (lines 15-16) — whichever
+  // operation that is, under every interleaving of two helpers.
+  ScheduleExplorer Explorer;
+  std::uint64_t Violations = 0;
+  const ExploreResult Result = Explorer.exploreAll([&] {
+    auto Stack = std::make_shared<AbortableStack<>>(4);
+    EXPECT_EQ(Stack->weakPush(7), PushResult::Done);
+    // The lazy write is pending: STACK[1] still holds bottom.
+    EXPECT_EQ(Stack->slotForTesting(1).Value, AbortableStack<>::Bottom);
+    ScenarioRun Run;
+    Run.Bodies.push_back([Stack] { (void)Stack->weakPush(8); });
+    Run.Bodies.push_back([Stack] { (void)Stack->weakPop(); });
+    Run.PostCheck = [Stack, &Violations] {
+      // Whatever happened, the helped slot now carries 7 (the lazy
+      // write completed exactly once thanks to the seqnb guard).
+      if (Stack->slotForTesting(1).Value != 7)
+        ++Violations;
+    };
+    return Run;
+  });
+  EXPECT_TRUE(Result.Complete);
+  EXPECT_EQ(Violations, 0u);
+}
+
+//===----------------------------------------------------------------------===
+// The queue non-interference claim, exhaustively
+//===----------------------------------------------------------------------===
+
+TEST(ExhaustiveQueue, EnqueueDequeueOnNonEmptyQueueNeverInterfere) {
+  // Section 1: "the operations that concurrently access an object are
+  // not interfering (e.g., enqueuing and dequeuing on a non-empty
+  // queue)". Exhaustive proof for the bounded scenario: queue holds 2 of
+  // 4; one enqueue races one dequeue; NO interleaving aborts either, and
+  // the dequeue returns the oldest element.
+  ScheduleExplorer Explorer;
+  std::uint64_t Aborts = 0;
+  std::uint64_t WrongValue = 0;
+  const ExploreResult Result = Explorer.exploreAll([&] {
+    auto Queue = std::make_shared<AbortableQueue<>>(4);
+    EXPECT_EQ(Queue->weakEnqueue(11), PushResult::Done);
+    EXPECT_EQ(Queue->weakEnqueue(22), PushResult::Done);
+    auto EnqRes = std::make_shared<PushResult>(PushResult::Abort);
+    auto DeqRes = std::make_shared<PopResult<std::uint32_t>>(
+        PopResult<std::uint32_t>::abort());
+    ScenarioRun Run;
+    Run.Bodies.push_back(
+        [Queue, EnqRes] { *EnqRes = Queue->weakEnqueue(33); });
+    Run.Bodies.push_back(
+        [Queue, DeqRes] { *DeqRes = Queue->weakDequeue(); });
+    Run.PostCheck = [EnqRes, DeqRes, &Aborts, &WrongValue] {
+      if (*EnqRes != PushResult::Done || !DeqRes->isValue())
+        ++Aborts;
+      else if (DeqRes->value() != 11)
+        ++WrongValue;
+    };
+    return Run;
+  });
+  EXPECT_TRUE(Result.Complete);
+  EXPECT_EQ(Aborts, 0u);
+  EXPECT_EQ(WrongValue, 0u);
+  EXPECT_GT(Result.Runs, 50u);
+}
+
+TEST(ExhaustiveQueue, TwoDequeuesOnTwoElementsConsistent) {
+  ScheduleExplorer Explorer;
+  std::uint64_t Violations = 0;
+  const ExploreResult Result = Explorer.exploreAll([&] {
+    auto Queue = std::make_shared<AbortableQueue<>>(4);
+    EXPECT_EQ(Queue->weakEnqueue(1), PushResult::Done);
+    EXPECT_EQ(Queue->weakEnqueue(2), PushResult::Done);
+    auto Res = std::make_shared<std::vector<PopResult<std::uint32_t>>>(
+        2, PopResult<std::uint32_t>::abort());
+    ScenarioRun Run;
+    for (std::uint32_t T = 0; T < 2; ++T)
+      Run.Bodies.push_back(
+          [Queue, Res, T] { (*Res)[T] = Queue->weakDequeue(); });
+    Run.PostCheck = [Queue, Res, &Violations] {
+      // At least one dequeue succeeds; successful values are distinct,
+      // in FIFO order from 1, and the queue size matches.
+      std::vector<std::uint32_t> Got;
+      for (const auto &R : *Res)
+        if (R.isValue())
+          Got.push_back(R.value());
+      if (Got.empty())
+        ++Violations;
+      if (Got.size() == 1 && Got[0] != 1)
+        ++Violations;
+      if (Got.size() == 2 && !((Got[0] == 1 && Got[1] == 2) ||
+                               (Got[0] == 2 && Got[1] == 1)))
+        ++Violations;
+      if (Queue->sizeForTesting() != 2 - Got.size())
+        ++Violations;
+    };
+    return Run;
+  });
+  EXPECT_TRUE(Result.Complete);
+  EXPECT_EQ(Violations, 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Figure 3 under randomized adversarial scheduling
+//===----------------------------------------------------------------------===
+
+TEST(RandomizedFigure3, StrongOperationsAlwaysCompleteWithoutBottom) {
+  ScheduleExplorer Explorer(ExploreOptions{/*MaxRuns=*/0,
+                                           /*StepCap=*/20000});
+  std::uint64_t Violations = 0;
+  const ExploreResult Result = Explorer.randomWalks(
+      [&] {
+        auto Stack =
+            std::make_shared<ContentionSensitiveStack<>>(/*NumThreads=*/2,
+                                                         /*Capacity=*/4);
+        auto Results = std::make_shared<std::vector<PushResult>>(
+            2, PushResult::Abort);
+        ScenarioRun Run;
+        for (std::uint32_t T = 0; T < 2; ++T)
+          Run.Bodies.push_back([Stack, Results, T] {
+            (*Results)[T] = Stack->push(T, T + 1);
+          });
+        Run.PostCheck = [Stack, Results, &Violations] {
+          if ((*Results)[0] != PushResult::Done ||
+              (*Results)[1] != PushResult::Done)
+            ++Violations;
+          if (Stack->sizeForTesting() != 2)
+            ++Violations;
+        };
+        return Run;
+      },
+      150, /*Seed=*/41);
+  EXPECT_EQ(Result.Runs, 150u);
+  EXPECT_EQ(Result.CappedRuns, 0u) << "a schedule starved Figure 3";
+  EXPECT_EQ(Violations, 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Lock substrate under controlled schedules
+//===----------------------------------------------------------------------===
+
+TEST(RandomizedLock, TasLockMutualExclusionUnderAdversary) {
+  ScheduleExplorer Explorer(ExploreOptions{/*MaxRuns=*/0,
+                                           /*StepCap=*/20000});
+  std::uint64_t Violations = 0;
+  const ExploreResult Result = Explorer.randomWalks(
+      [&] {
+        auto Lock = std::make_shared<TasLock>(2);
+        auto State = std::make_shared<std::vector<std::uint32_t>>(2, 0);
+        // State[0]: occupancy check; State[1]: completed increments.
+        ScenarioRun Run;
+        for (std::uint32_t T = 0; T < 2; ++T)
+          Run.Bodies.push_back([Lock, State, T] {
+            Lock->lock(T);
+            if (++(*State)[0] != 1)
+              (*State)[1] += 1000000; // Poison on violation.
+            --(*State)[0];
+            ++(*State)[1];
+            Lock->unlock(T);
+          });
+        Run.PostCheck = [State, &Violations] {
+          if ((*State)[1] != 2)
+            ++Violations;
+        };
+        return Run;
+      },
+      150, /*Seed=*/43);
+  EXPECT_EQ(Result.Runs, 150u);
+  EXPECT_EQ(Result.CappedRuns, 0u);
+  EXPECT_EQ(Violations, 0u);
+}
+
+} // namespace
+} // namespace csobj
