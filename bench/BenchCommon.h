@@ -33,10 +33,24 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <ostream>
+#include <type_traits>
 #include <vector>
 
 namespace csobj {
 namespace bench {
+
+/// Prints which register policy the binary's *default* instantiations
+/// were compiled with (memory/RegisterPolicy.h). Every bench main calls
+/// this first so saved logs are self-describing: an "instrumented" run
+/// carries per-access counting overhead and is not comparable with a
+/// "fast" run.
+inline void printRegisterPolicy(std::ostream &OS) {
+  OS << "default register policy: " << DefaultRegisterPolicy::Name;
+  if (std::is_same_v<DefaultRegisterPolicy, Instrumented>)
+    OS << " (rebuild with -DCSOBJ_FAST_REGISTERS=ON for fast)";
+  OS << '\n';
+}
 
 /// True when CSOBJ_BENCH_QUICK=1: shrink sweeps for smoke runs.
 inline bool quickMode() {

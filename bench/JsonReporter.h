@@ -1,0 +1,144 @@
+//===- bench/JsonReporter.h - Dependency-free JSON emitter ------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal JSON writer for benchmark results: an array of flat objects,
+/// one per sweep cell, written to a BENCH_*.json file next to the
+/// binary's table output so plots and regression tooling can consume the
+/// numbers without scraping stdout. No external JSON dependency — the
+/// emitter handles exactly the subset the benches need (string, integer,
+/// finite double, bool) and escapes strings conservatively.
+///
+/// Usage:
+///   JsonReporter Json;
+///   Json.beginRecord();
+///   Json.field("object", "nb-stack");
+///   Json.field("threads", std::uint64_t{8});
+///   Json.field("throughput_ops_per_sec", 1.25e7);
+///   Json.endRecord();
+///   Json.writeFile("BENCH_stack_throughput.json");
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_BENCH_JSONREPORTER_H
+#define CSOBJ_BENCH_JSONREPORTER_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace csobj {
+namespace bench {
+
+/// Accumulates an array of flat JSON objects and writes it to disk.
+class JsonReporter {
+public:
+  /// Opens a new record ("{"). Records may not nest.
+  void beginRecord() {
+    Body += Body.empty() ? "\n  {" : ",\n  {";
+    FirstField = true;
+  }
+
+  void field(const std::string &Key, const std::string &Value) {
+    appendKey(Key);
+    Body += '"';
+    appendEscaped(Value);
+    Body += '"';
+  }
+
+  void field(const std::string &Key, const char *Value) {
+    field(Key, std::string(Value));
+  }
+
+  void field(const std::string &Key, std::uint64_t Value) {
+    appendKey(Key);
+    Body += std::to_string(Value);
+  }
+
+  void field(const std::string &Key, std::uint32_t Value) {
+    field(Key, static_cast<std::uint64_t>(Value));
+  }
+
+  void field(const std::string &Key, bool Value) {
+    appendKey(Key);
+    Body += Value ? "true" : "false";
+  }
+
+  void field(const std::string &Key, double Value) {
+    appendKey(Key);
+    if (!std::isfinite(Value)) {
+      Body += "null"; // NaN/Inf are not JSON; null keeps the file valid.
+      return;
+    }
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.10g", Value);
+    Body += Buf;
+  }
+
+  /// Closes the current record ("}").
+  void endRecord() { Body += '}'; }
+
+  /// The complete document: a JSON array of the emitted records.
+  std::string str() const {
+    return "[" + Body + (Body.empty() ? "]" : "\n]") + "\n";
+  }
+
+  /// Writes the document to \p Path; returns false on I/O failure.
+  bool writeFile(const std::string &Path) const {
+    std::ofstream Out(Path);
+    if (!Out)
+      return false;
+    Out << str();
+    return static_cast<bool>(Out);
+  }
+
+private:
+  void appendKey(const std::string &Key) {
+    if (!FirstField)
+      Body += ", ";
+    FirstField = false;
+    Body += '"';
+    appendEscaped(Key);
+    Body += "\": ";
+  }
+
+  void appendEscaped(const std::string &S) {
+    for (const char C : S) {
+      switch (C) {
+      case '"':
+        Body += "\\\"";
+        break;
+      case '\\':
+        Body += "\\\\";
+        break;
+      case '\n':
+        Body += "\\n";
+        break;
+      case '\t':
+        Body += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Body += Buf;
+        } else {
+          Body += C;
+        }
+      }
+    }
+  }
+
+  std::string Body;
+  bool FirstField = true;
+};
+
+} // namespace bench
+} // namespace csobj
+
+#endif // CSOBJ_BENCH_JSONREPORTER_H

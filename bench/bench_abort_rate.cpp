@@ -24,6 +24,7 @@ int main() {
   using namespace csobj;
   using namespace csobj::bench;
 
+  printRegisterPolicy(std::cout);
   {
     TablePrinter Table({"threads", "ops", "aborts", "abort-rate",
                         "throughput"});

@@ -56,6 +56,7 @@ void addRow(TablePrinter &Table, const char *Object, const char *Operation,
 
 int main() {
   using namespace csobj;
+  bench::printRegisterPolicy(std::cout);
 
   TablePrinter Table({"object", "operation (solo)", "accesses", "reads",
                       "writes", "cas"});

@@ -77,6 +77,7 @@ void addRows(TablePrinter &Table, const char *Name) {
 } // namespace
 
 int main() {
+  csobj::bench::printRegisterPolicy(std::cout);
   // Fig3 and the timestamp boost share the six-access contention-free
   // fast path; the wait-free universal construction pays its state copy
   // and announcement scan even when alone (it is NOT

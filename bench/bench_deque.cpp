@@ -88,6 +88,7 @@ struct CsDequeAdapter {
 } // namespace
 
 int main() {
+  csobj::bench::printRegisterPolicy(std::cout);
   // Solo access counts vs occupancy: HLM's oracle makes the cost grow,
   // in contrast to the paper's constant-cost stack.
   {

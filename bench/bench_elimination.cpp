@@ -46,6 +46,7 @@ void addRows(TablePrinter &Table, const char *Name) {
 } // namespace
 
 int main() {
+  csobj::bench::printRegisterPolicy(std::cout);
   TablePrinter Table({"strategy", "threads", "throughput", "retries/op",
                       "p99", "jain"});
   Table.setTitle("E8: contention-management ablation (high contention, "

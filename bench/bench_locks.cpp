@@ -14,6 +14,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "locks/AndersonLock.h"
 #include "locks/ClhLock.h"
 #include "locks/LamportFastLock.h"
@@ -127,6 +129,7 @@ void accessRow(TablePrinter &Table, const char *Name) {
 } // namespace
 
 int main(int argc, char **argv) {
+  csobj::bench::printRegisterPolicy(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -74,6 +74,7 @@ producerConsumerAborts(ObjectT &Object, EnqFn Enqueue, DeqFn Dequeue,
 } // namespace
 
 int main() {
+  csobj::bench::printRegisterPolicy(std::cout);
   TablePrinter Sweep({"queue", "threads", "throughput", "abort-rate",
                       "retries/op", "jain"});
   Sweep.setTitle("E7a: queue family sweep (think=0, 50/50 enq-deq)");

@@ -23,6 +23,7 @@ int main() {
   using namespace csobj;
   using namespace csobj::bench;
 
+  printRegisterPolicy(std::cout);
   TablePrinter Table({"threads", "policy", "aborts-surfaced",
                       "mean-retries/op", "p99-latency", "throughput"});
   Table.setTitle("E3: non-blocking stack (fig2) — retries replace aborts");

@@ -47,6 +47,7 @@ int main() {
   using namespace csobj;
   using namespace csobj::bench;
 
+  printRegisterPolicy(std::cout);
   TablePrinter Table({"stack", "threads", "p50", "p99", "max",
                       "svc-ratio", "aborts", "throughput"});
   Table.setTitle("E4: starvation-freedom — latency tail and fairness "

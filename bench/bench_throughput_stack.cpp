@@ -78,6 +78,7 @@ void addSweep(TablePrinter &Table, const char *Name) {
 } // namespace
 
 int main(int argc, char **argv) {
+  csobj::bench::printRegisterPolicy(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -29,11 +29,15 @@
 namespace csobj {
 
 /// Bounded Michael-Scott queue over a preallocated node pool.
-class MichaelScottQueue {
+///
+/// \tparam Policy register policy (Instrumented / Fast).
+template <typename Policy = DefaultRegisterPolicy>
+class MichaelScottQueueT {
 public:
   using Value = std::uint32_t;
+  using RegisterPolicy = Policy;
 
-  explicit MichaelScottQueue(std::uint32_t Capacity)
+  explicit MichaelScottQueueT(std::uint32_t Capacity)
       : Pool(Capacity + 1), Nodes(new Node[Capacity + 1]),
         CapacityK(Capacity) {
     const auto Dummy = Pool.tryAcquire();
@@ -130,16 +134,19 @@ private:
   }
 
   struct Node {
-    AtomicRegister<Value> Payload{0};
-    AtomicRegister<std::uint64_t> Next{0};
+    AtomicRegister<Value, Policy> Payload{0};
+    AtomicRegister<std::uint64_t, Policy> Next{0};
   };
 
   IndexPool Pool;
-  AtomicRegister<std::uint64_t> Head{0};
-  AtomicRegister<std::uint64_t> Tail{0};
+  AtomicRegister<std::uint64_t, Policy> Head{0};
+  AtomicRegister<std::uint64_t, Policy> Tail{0};
   std::unique_ptr<Node[]> Nodes;
   const std::uint32_t CapacityK;
 };
+
+/// The library-default MS queue (instrumented unless CSOBJ_FAST_REGISTERS).
+using MichaelScottQueue = MichaelScottQueueT<>;
 
 } // namespace csobj
 

@@ -32,11 +32,15 @@
 namespace csobj {
 
 /// Bounded Treiber stack over a preallocated node pool.
-class TreiberStack {
+///
+/// \tparam Policy register policy (Instrumented / Fast).
+template <typename Policy = DefaultRegisterPolicy>
+class TreiberStackT {
 public:
   using Value = std::uint32_t;
+  using RegisterPolicy = Policy;
 
-  explicit TreiberStack(std::uint32_t Capacity)
+  explicit TreiberStackT(std::uint32_t Capacity)
       : Pool(Capacity), Nodes(new Node[Capacity]) {}
 
   /// Pushes \p V; Full when the node pool is exhausted.
@@ -132,14 +136,20 @@ private:
   }
 
   struct Node {
-    AtomicRegister<Value> Payload{0};
-    AtomicRegister<std::uint32_t> Next{0}; ///< Link = index+1; 0 = null.
+    AtomicRegister<Value, Policy> Payload{0};
+    AtomicRegister<std::uint32_t, Policy> Next{
+        0}; ///< Link = index+1; 0 = null.
   };
 
   IndexPool Pool;
-  AtomicRegister<std::uint64_t> Head{0}; ///< <link, tag>; link 0 = empty.
+  AtomicRegister<std::uint64_t, Policy> Head{
+      0}; ///< <link, tag>; link 0 = empty.
   std::unique_ptr<Node[]> Nodes;
 };
+
+/// The library-default Treiber stack (instrumented unless
+/// CSOBJ_FAST_REGISTERS).
+using TreiberStack = TreiberStackT<>;
 
 } // namespace csobj
 

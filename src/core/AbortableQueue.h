@@ -30,6 +30,15 @@
 /// uncertain* — which abortable semantics explicitly permit (a solo
 /// operation never takes these abort paths, as the tests verify).
 ///
+/// Memory orderings (audited for the Fast register policy; identical
+/// under Instrumented): ITEMS reads are acquire and every C&S is acq_rel,
+/// by the same publish/observe happens-before chain as the stack's TOP
+/// (core/AbortableStack.h). Reads of REAR and FRONT stay seq_cst: the
+/// full/empty certification argues about a *cross-register* snapshot
+/// ("FRONT was unchanged while REAR was re-read"), which leans on a total
+/// order over these four loads — exactly what seq_cst provides and
+/// acquire alone does not promise in the C++ abstract machine.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSOBJ_CORE_ABORTABLEQUEUE_H
@@ -46,19 +55,24 @@
 namespace csobj {
 
 /// Abortable, linearizable, lock-free bounded FIFO queue.
-template <typename Config = Compact64>
+///
+/// \tparam Policy register policy (Instrumented / Fast), see
+///         memory/RegisterPolicy.h.
+template <typename Config = Compact64,
+          typename Policy = DefaultRegisterPolicy>
 class AbortableQueue {
 public:
   using TopC = typename Config::Top;   ///< Codec for REAR (a triple).
   using SlotC = typename Config::Slot; ///< Codec for ITEMS and FRONT.
   using Value = typename Config::Value;
+  using RegisterPolicy = Policy;
 
   static constexpr Value Bottom = TopC::Bottom;
 
   /// Creates a queue holding up to \p Capacity elements.
   explicit AbortableQueue(std::uint32_t Capacity)
       : K(Capacity), Ring(Capacity + 1),
-        Items(new AtomicRegister<SlotWord>[Capacity + 1]) {
+        Items(new AtomicRegister<SlotWord, Policy>[Capacity + 1]) {
     assert(Capacity >= 1 && "queue capacity must be positive");
     assert(Capacity + 1 <= TopC::MaxIndex && "capacity exceeds index field");
     Rear.write(TopC::pack({/*Index=*/0, /*Value=*/Bottom, /*Seq=*/0}));
@@ -85,11 +99,11 @@ public:
         return PushResult::Abort;
       return PushResult::Full;
     }
-    const SlotFields<Value> Next =
-        SlotC::unpack(Items[next(R.Index)].read());
+    const SlotFields<Value> Next = SlotC::unpack(
+        Items[next(R.Index)].read(std::memory_order_acquire));
     const TopWord NewRear =
         TopC::pack({next(R.Index), V, TopC::seqAdd(Next.Seq, +1)});
-    if (Rear.compareAndSwap(RearW, NewRear))
+    if (Rear.compareAndSwap(RearW, NewRear, std::memory_order_acq_rel))
       return PushResult::Done;
     return PushResult::Abort;
   }
@@ -112,12 +126,12 @@ public:
         return PopResult<Value>::abort();
       return PopResult<Value>::empty();
     }
-    const SlotFields<Value> Oldest =
-        SlotC::unpack(Items[next(FrontIdx)].read());
+    const SlotFields<Value> Oldest = SlotC::unpack(
+        Items[next(FrontIdx)].read(std::memory_order_acquire));
     const SlotWord NewFront = SlotC::pack(
         {static_cast<Value>(next(FrontIdx)),
          TopC::seqAdd(frontSeq(FrontW), +1)});
-    if (Front.compareAndSwap(FrontW, NewFront))
+    if (Front.compareAndSwap(FrontW, NewFront, std::memory_order_acq_rel))
       return PopResult<Value>::value(Oldest.Value);
     return PopResult<Value>::abort();
   }
@@ -147,17 +161,18 @@ private:
   /// Completes the lazy ITEMS write of the last enqueue recorded in REAR
   /// (identical to the stack's help, lines 15-16 of Figure 1).
   void helpRear(const TopFields<Value> &R) {
-    const SlotFields<Value> Cur = SlotC::unpack(Items[R.Index].read());
+    const SlotFields<Value> Cur = SlotC::unpack(
+        Items[R.Index].read(std::memory_order_acquire));
     Items[R.Index].compareAndSwap(
         SlotC::pack({Cur.Value, TopC::seqAdd(R.Seq, -1)}),
-        SlotC::pack({R.Value, R.Seq}));
+        SlotC::pack({R.Value, R.Seq}), std::memory_order_acq_rel);
   }
 
   const std::uint32_t K;
   const std::uint32_t Ring; ///< Number of slots (K + 1).
-  AtomicRegister<TopWord> Rear;
-  AtomicRegister<SlotWord> Front;
-  std::unique_ptr<AtomicRegister<SlotWord>[]> Items;
+  AtomicRegister<TopWord, Policy> Rear;
+  AtomicRegister<SlotWord, Policy> Front;
+  std::unique_ptr<AtomicRegister<SlotWord, Policy>[]> Items;
 };
 
 } // namespace csobj

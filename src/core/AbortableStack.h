@@ -28,6 +28,17 @@
 /// in which case it had no effect — the property the contention-sensitive
 /// construction of Figure 3 builds on.
 ///
+/// Memory orderings (audited for the Fast register policy; identical
+/// under Instrumented): every mutation of TOP or a slot is a C&S with
+/// acq_rel success ordering, and every read of TOP or a slot is acquire.
+/// Happens-before argument: an operation's only writes are its help-C&S
+/// and its TOP-C&S, both releases; the next operation begins by reading
+/// TOP (acquire), which synchronizes-with the TOP-C&S of the operation it
+/// observes, making that operation's slot updates visible before they are
+/// re-read. Slot sequence numbers carry the same argument across slot
+/// reuse. No operation relies on the relative order of *other* threads'
+/// independent accesses, so seq_cst is not required.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSOBJ_CORE_ABORTABLESTACK_H
@@ -47,12 +58,16 @@ namespace csobj {
 ///
 /// \tparam Config a codec family (Compact64 or Wide128) fixing the packed
 ///         layout of TOP and STACK[x] and the payload type.
-template <typename Config = Compact64>
+/// \tparam Policy register policy (Instrumented / Fast), see
+///         memory/RegisterPolicy.h.
+template <typename Config = Compact64,
+          typename Policy = DefaultRegisterPolicy>
 class AbortableStack {
 public:
   using TopC = typename Config::Top;
   using SlotC = typename Config::Slot;
   using Value = typename Config::Value;
+  using RegisterPolicy = Policy;
 
   /// The reserved bottom payload; pushing it is a precondition violation.
   static constexpr Value Bottom = TopC::Bottom;
@@ -61,7 +76,8 @@ public:
   /// the backing array is the dummy slot, so Capacity must be at least 1
   /// and small enough for the index field of the TOP codec.
   explicit AbortableStack(std::uint32_t Capacity)
-      : K(Capacity), Slots(new AtomicRegister<SlotWord>[Capacity + 1]) {
+      : K(Capacity),
+        Slots(new AtomicRegister<SlotWord, Policy>[Capacity + 1]) {
     assert(Capacity >= 1 && "stack capacity must be positive");
     assert(Capacity <= TopC::MaxIndex && "capacity exceeds index field");
     // TOP <- <0, bottom, 0>; STACK[0] <- <bottom, -1>; STACK[x] <- <bottom, 0>.
@@ -78,32 +94,38 @@ public:
     assert(V != Bottom && "cannot push the reserved bottom value");
     assert((V & static_cast<Value>(TopC::Bottom)) == V &&
            "value exceeds the codec's value field");
-    const TopWord Observed = Top.read();                        // line 01
+    // Acquire: synchronizes with the releasing TOP-C&S of the operation
+    // whose outcome we observe (see file comment).
+    const TopWord Observed = Top.read(std::memory_order_acquire); // line 01
     const TopFields<Value> Cur = TopC::unpack(Observed);
     help(Cur);                                                  // line 02
     if (Cur.Index == K)                                         // line 03
       return PushResult::Full;
-    const SlotFields<Value> Next =
-        SlotC::unpack(Slots[Cur.Index + 1].read());             // line 04
+    const SlotFields<Value> Next = SlotC::unpack(
+        Slots[Cur.Index + 1].read(std::memory_order_acquire));  // line 04
     const TopWord NewTop = TopC::pack(
         {Cur.Index + 1, V, TopC::seqAdd(Next.Seq, +1)});        // line 05
-    if (Top.compareAndSwap(Observed, NewTop))                   // line 06
+    // Acq_rel: the release publishes this operation (and the help write
+    // it performed); the acquire orders it after the observed TOP.
+    if (Top.compareAndSwap(Observed, NewTop,
+                           std::memory_order_acq_rel))          // line 06
       return PushResult::Done;
     return PushResult::Abort;                                   // line 07
   }
 
   /// weak_pop(), lines 08-14. Returns the popped value, Empty, or Abort.
   PopResult<Value> weakPop() {
-    const TopWord Observed = Top.read();                        // line 08
+    const TopWord Observed = Top.read(std::memory_order_acquire); // line 08
     const TopFields<Value> Cur = TopC::unpack(Observed);
     help(Cur);                                                  // line 09
     if (Cur.Index == 0)                                         // line 10
       return PopResult<Value>::empty();
-    const SlotFields<Value> Below =
-        SlotC::unpack(Slots[Cur.Index - 1].read());             // line 11
+    const SlotFields<Value> Below = SlotC::unpack(
+        Slots[Cur.Index - 1].read(std::memory_order_acquire));  // line 11
     const TopWord NewTop = TopC::pack(
         {Cur.Index - 1, Below.Value, TopC::seqAdd(Below.Seq, +1)}); // line 12
-    if (Top.compareAndSwap(Observed, NewTop))                   // line 13
+    if (Top.compareAndSwap(Observed, NewTop,
+                           std::memory_order_acq_rel))          // line 13
       return PopResult<Value>::value(Cur.Value);
     return PopResult<Value>::abort();                           // line 14
   }
@@ -137,16 +159,17 @@ private:
   /// C&S succeeds only if that write has not been done yet (expected
   /// sequence number seqnb - 1).
   void help(const TopFields<Value> &T) {
-    const SlotFields<Value> Cur =
-        SlotC::unpack(Slots[T.Index].read());                   // line 15
+    const SlotFields<Value> Cur = SlotC::unpack(
+        Slots[T.Index].read(std::memory_order_acquire));        // line 15
     Slots[T.Index].compareAndSwap(
         SlotC::pack({Cur.Value, TopC::seqAdd(T.Seq, -1)}),
-        SlotC::pack({T.Value, T.Seq}));                         // line 16
+        SlotC::pack({T.Value, T.Seq}),
+        std::memory_order_acq_rel);                             // line 16
   }
 
   const std::uint32_t K;
-  AtomicRegister<TopWord> Top;
-  std::unique_ptr<AtomicRegister<SlotWord>[]> Slots;
+  AtomicRegister<TopWord, Policy> Top;
+  std::unique_ptr<AtomicRegister<SlotWord, Policy>[]> Slots;
 };
 
 } // namespace csobj

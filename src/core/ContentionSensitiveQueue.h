@@ -27,10 +27,13 @@
 namespace csobj {
 
 /// Starvation-free contention-sensitive bounded FIFO queue.
-template <typename Config = Compact64, typename Lock = TasLock>
+template <typename Config = Compact64, typename Lock = TasLock,
+          ContentionManager Manager = NoBackoff,
+          typename Policy = DefaultRegisterPolicy>
 class ContentionSensitiveQueue {
 public:
   using Value = typename Config::Value;
+  using RegisterPolicy = Policy;
 
   ContentionSensitiveQueue(std::uint32_t NumThreads, std::uint32_t Capacity)
       : Weak(Capacity), Strong(NumThreads) {}
@@ -60,12 +63,12 @@ public:
   std::uint32_t numThreads() const { return Strong.numThreads(); }
   std::uint32_t sizeForTesting() const { return Weak.sizeForTesting(); }
 
-  AbortableQueue<Config> &abortable() { return Weak; }
-  ContentionSensitive<Lock> &skeleton() { return Strong; }
+  AbortableQueue<Config, Policy> &abortable() { return Weak; }
+  ContentionSensitive<Lock, Manager, Policy> &skeleton() { return Strong; }
 
 private:
-  AbortableQueue<Config> Weak;
-  ContentionSensitive<Lock> Strong;
+  AbortableQueue<Config, Policy> Weak;
+  ContentionSensitive<Lock, Manager, Policy> Strong;
 };
 
 } // namespace csobj

@@ -34,13 +34,18 @@ namespace csobj {
 
 /// Figure 3 over Figure 1: starvation-free contention-sensitive stack.
 ///
-/// \tparam Config codec family (Compact64 / Wide128).
-/// \tparam Lock   deadlock-free lock used on the contended path.
-template <typename Config = Compact64, typename Lock = TasLock>
+/// \tparam Config  codec family (Compact64 / Wide128).
+/// \tparam Lock    deadlock-free lock used on the contended path.
+/// \tparam Manager ContentionManager pacing the lock-protected retry.
+/// \tparam Policy  register policy (Instrumented / Fast).
+template <typename Config = Compact64, typename Lock = TasLock,
+          ContentionManager Manager = NoBackoff,
+          typename Policy = DefaultRegisterPolicy>
 class ContentionSensitiveStack {
 public:
   using Value = typename Config::Value;
-  static constexpr Value Bottom = AbortableStack<Config>::Bottom;
+  using RegisterPolicy = Policy;
+  static constexpr Value Bottom = AbortableStack<Config, Policy>::Bottom;
 
   /// \p NumThreads is the paper's n (ids 0..n-1); \p Capacity is k.
   ContentionSensitiveStack(std::uint32_t NumThreads, std::uint32_t Capacity)
@@ -72,14 +77,14 @@ public:
   std::uint32_t sizeForTesting() const { return Weak.sizeForTesting(); }
 
   /// The underlying Figure 1 object (test/debug aid).
-  AbortableStack<Config> &abortable() { return Weak; }
+  AbortableStack<Config, Policy> &abortable() { return Weak; }
 
   /// The Figure 3 skeleton (test/debug aid).
-  ContentionSensitive<Lock> &skeleton() { return Strong; }
+  ContentionSensitive<Lock, Manager, Policy> &skeleton() { return Strong; }
 
 private:
-  AbortableStack<Config> Weak;
-  ContentionSensitive<Lock> Strong;
+  AbortableStack<Config, Policy> Weak;
+  ContentionSensitive<Lock, Manager, Policy> Strong;
 };
 
 } // namespace csobj

@@ -8,7 +8,8 @@
 /// The Figure 2 retry construction over the abortable queue: enqueue and
 /// dequeue never surface bottom, they retry instead. Non-blocking by the
 /// same argument as the stack (an attempt only aborts because another
-/// operation's C&S on the same register succeeded).
+/// operation's C&S on the same register succeeded). The retry loop is
+/// managed by a ContentionManager exactly as in NonBlockingStack.h.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,17 +18,23 @@
 
 #include "core/AbortableQueue.h"
 #include "core/NonBlockingStack.h"
-#include "support/Backoff.h"
+#include "support/ContentionManager.h"
 
 #include <cstdint>
 
 namespace csobj {
 
 /// Non-blocking bounded FIFO queue (Figure 2 over AbortableQueue).
-template <typename Config = Compact64, typename RetryPolicy = NoBackoff>
+///
+/// \tparam Manager ContentionManager for the retry loop.
+/// \tparam Policy  register policy (Instrumented / Fast).
+template <typename Config = Compact64,
+          ContentionManager Manager = NoBackoff,
+          typename Policy = DefaultRegisterPolicy>
 class NonBlockingQueue {
 public:
   using Value = typename Config::Value;
+  using RegisterPolicy = Policy;
 
   explicit NonBlockingQueue(std::uint32_t Capacity) : Inner(Capacity) {}
 
@@ -38,26 +45,30 @@ public:
   PopResult<Value> dequeue() { return dequeueCounting().Result; }
 
   Attempted<PushResult> enqueueCounting(Value V) {
-    RetryPolicy Policy;
+    Manager Mgr;
     Attempted<PushResult> Out{PushResult::Abort, 0};
     while (true) {
       Out.Result = Inner.weakEnqueue(V);
-      if (Out.Result != PushResult::Abort)
+      if (Out.Result != PushResult::Abort) {
+        Mgr.onSuccess();
         return Out;
+      }
       ++Out.Retries;
-      Policy.onFailure();
+      Mgr.onAbort();
     }
   }
 
   Attempted<PopResult<Value>> dequeueCounting() {
-    RetryPolicy Policy;
+    Manager Mgr;
     Attempted<PopResult<Value>> Out{PopResult<Value>::abort(), 0};
     while (true) {
       Out.Result = Inner.weakDequeue();
-      if (!Out.Result.isAbort())
+      if (!Out.Result.isAbort()) {
+        Mgr.onSuccess();
         return Out;
+      }
       ++Out.Retries;
-      Policy.onFailure();
+      Mgr.onAbort();
     }
   }
 
@@ -65,10 +76,10 @@ public:
   std::uint32_t sizeForTesting() const { return Inner.sizeForTesting(); }
 
   /// The underlying abortable queue.
-  AbortableQueue<Config> &abortable() { return Inner; }
+  AbortableQueue<Config, Policy> &abortable() { return Inner; }
 
 private:
-  AbortableQueue<Config> Inner;
+  AbortableQueue<Config, Policy> Inner;
 };
 
 } // namespace csobj

@@ -16,9 +16,13 @@
 /// operation terminates, because an attempt only aborts when some other
 /// operation's TOP C&S succeeded.
 ///
-/// The retry policy is a template parameter: NoBackoff is the literal
-/// Figure 2; ExponentialBackoff is the natural contention-managed variant
-/// (ablation experiment E8).
+/// The retry loop is managed by a ContentionManager
+/// (support/ContentionManager.h): NoBackoff is the literal Figure 2;
+/// ExponentialBackoff, YieldBackoff and AdaptiveBackoff are the
+/// contention-managed variants (ablation experiments E8/E11). The manager
+/// is told about every abort (onAbort) and the final completion
+/// (onSuccess); on the solo path it is never consulted, so it adds
+/// nothing to the contention-free access count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,7 +30,7 @@
 #define CSOBJ_CORE_NONBLOCKINGSTACK_H
 
 #include "core/AbortableStack.h"
-#include "support/Backoff.h"
+#include "support/ContentionManager.h"
 
 #include <cstdint>
 
@@ -43,13 +47,18 @@ struct Attempted {
 
 /// Figure 2: non-blocking bounded stack.
 ///
-/// \tparam Config       codec family (Compact64 / Wide128), see Figure 1.
-/// \tparam RetryPolicy  NoBackoff (paper-literal) or ExponentialBackoff.
-template <typename Config = Compact64, typename RetryPolicy = NoBackoff>
+/// \tparam Config  codec family (Compact64 / Wide128), see Figure 1.
+/// \tparam Manager ContentionManager for the retry loop (NoBackoff is
+///                 paper-literal).
+/// \tparam Policy  register policy (Instrumented / Fast).
+template <typename Config = Compact64,
+          ContentionManager Manager = NoBackoff,
+          typename Policy = DefaultRegisterPolicy>
 class NonBlockingStack {
 public:
   using Value = typename Config::Value;
-  static constexpr Value Bottom = AbortableStack<Config>::Bottom;
+  using RegisterPolicy = Policy;
+  static constexpr Value Bottom = AbortableStack<Config, Policy>::Bottom;
 
   explicit NonBlockingStack(std::uint32_t Capacity) : Inner(Capacity) {}
 
@@ -63,27 +72,31 @@ public:
 
   /// push plus the number of aborted attempts.
   Attempted<PushResult> pushCounting(Value V) {
-    RetryPolicy Policy;
+    Manager Mgr;
     Attempted<PushResult> Out{PushResult::Abort, 0};
     while (true) {
       Out.Result = Inner.weakPush(V);
-      if (Out.Result != PushResult::Abort)
+      if (Out.Result != PushResult::Abort) {
+        Mgr.onSuccess();
         return Out;
+      }
       ++Out.Retries;
-      Policy.onFailure();
+      Mgr.onAbort();
     }
   }
 
   /// pop plus the number of aborted attempts.
   Attempted<PopResult<Value>> popCounting() {
-    RetryPolicy Policy;
+    Manager Mgr;
     Attempted<PopResult<Value>> Out{PopResult<Value>::abort(), 0};
     while (true) {
       Out.Result = Inner.weakPop();
-      if (!Out.Result.isAbort())
+      if (!Out.Result.isAbort()) {
+        Mgr.onSuccess();
         return Out;
+      }
       ++Out.Retries;
-      Policy.onFailure();
+      Mgr.onAbort();
     }
   }
 
@@ -91,10 +104,10 @@ public:
   std::uint32_t sizeForTesting() const { return Inner.sizeForTesting(); }
 
   /// The underlying Figure 1 object (shared with Figure 3 constructions).
-  AbortableStack<Config> &abortable() { return Inner; }
+  AbortableStack<Config, Policy> &abortable() { return Inner; }
 
 private:
-  AbortableStack<Config> Inner;
+  AbortableStack<Config, Policy> Inner;
 };
 
 } // namespace csobj

@@ -12,6 +12,15 @@
 /// links are stored as id+1 with 0 meaning "null" so they fit atomic
 /// registers without pointer tagging.
 ///
+/// Memory orderings (audited): the Tail exchange is acq_rel (it both
+/// publishes our initialized node and orders us after the predecessor's
+/// enqueue); the MustWait handoff is a release store observed by an
+/// acquire spin read — the edge that carries the critical section from
+/// holder to successor; the Tail C&S in unlock is release (publishes the
+/// critical section when the queue closes) and the successor-link spin
+/// reads are acquire (they must observe the successor's initialized
+/// node).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSOBJ_LOCKS_MCSLOCK_H
@@ -28,11 +37,15 @@
 namespace csobj {
 
 /// MCS list-based queue lock over dense thread ids.
-class McsLock {
+///
+/// \tparam Policy register policy (Instrumented / Fast).
+template <typename Policy = DefaultRegisterPolicy>
+class McsLockT {
 public:
   static constexpr const char *Name = "mcs";
+  using RegisterPolicy = Policy;
 
-  explicit McsLock(std::uint32_t NumThreads)
+  explicit McsLockT(std::uint32_t NumThreads)
       : N(NumThreads), Nodes(new CacheLinePadded<Node>[NumThreads]) {
     assert(NumThreads >= 1 && "MCS lock needs at least one process");
   }
@@ -40,43 +53,51 @@ public:
   void lock(std::uint32_t Tid) {
     assert(Tid < N && "thread id out of range");
     Node &Mine = Nodes[Tid].value();
-    Mine.Next.write(0);
-    Mine.MustWait.write(1);
-    const std::uint32_t Pred = Tail.exchange(Tid + 1);
+    Mine.Next.write(0, std::memory_order_relaxed);
+    Mine.MustWait.write(1, std::memory_order_relaxed);
+    const std::uint32_t Pred =
+        Tail.value().exchange(Tid + 1, std::memory_order_acq_rel);
     if (Pred == 0)
       return; // Lock was free.
-    // Link behind the predecessor and spin on our own flag.
-    Nodes[Pred - 1].value().Next.write(Tid + 1);
+    // Link behind the predecessor and spin on our own flag. Release:
+    // publishes our initialized node to the predecessor's unlock.
+    Nodes[Pred - 1].value().Next.write(Tid + 1, std::memory_order_release);
     SpinWait Waiter;
-    while (Mine.MustWait.read() != 0)
+    while (Mine.MustWait.read(std::memory_order_acquire) != 0)
       Waiter.once();
   }
 
   void unlock(std::uint32_t Tid) {
     assert(Tid < N && "thread id out of range");
     Node &Mine = Nodes[Tid].value();
-    if (Mine.Next.read() == 0) {
+    if (Mine.Next.read(std::memory_order_acquire) == 0) {
       // No known successor: try to close the queue.
-      if (Tail.compareAndSwap(Tid + 1, 0))
+      if (Tail.value().compareAndSwap(Tid + 1, 0,
+                                      std::memory_order_release))
         return;
       // A successor is announcing itself; wait for the link.
       SpinWait Waiter;
-      while (Mine.Next.read() == 0)
+      while (Mine.Next.read(std::memory_order_acquire) == 0)
         Waiter.once();
     }
-    Nodes[Mine.Next.read() - 1].value().MustWait.write(0);
+    Nodes[Mine.Next.read(std::memory_order_acquire) - 1]
+        .value()
+        .MustWait.write(0, std::memory_order_release);
   }
 
 private:
   struct Node {
-    AtomicRegister<std::uint32_t> Next{0};    ///< Successor id+1; 0 = none.
-    AtomicRegister<std::uint8_t> MustWait{0}; ///< Spun on by the owner.
+    AtomicRegister<std::uint32_t, Policy> Next{0}; ///< Successor id+1.
+    AtomicRegister<std::uint8_t, Policy> MustWait{0}; ///< Spun on by owner.
   };
 
   const std::uint32_t N;
-  AtomicRegister<std::uint32_t> Tail{0}; ///< Last waiter id+1; 0 = free.
+  CacheLinePadded<AtomicRegister<std::uint32_t, Policy>>
+      Tail; ///< Last waiter id+1; 0 = free.
   std::unique_ptr<CacheLinePadded<Node>[]> Nodes;
 };
+
+using McsLock = McsLockT<>;
 
 } // namespace csobj
 

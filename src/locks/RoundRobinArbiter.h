@@ -26,6 +26,12 @@
 /// eventually holds TURN, at which point every other process blocks in
 /// enter() until it passes through.
 ///
+/// FLAG entries and TURN each occupy their own cache line: the doorway is
+/// slow-path machinery, and its spinning must not evict the line holding
+/// fast-path state. All accesses stay seq_cst — the Lemma 3 argument
+/// interleaves writes and reads of two registers (FLAG[TURN] and TURN)
+/// and is only written down for the sequentially consistent model.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSOBJ_LOCKS_ROUNDROBINARBITER_H
@@ -42,13 +48,20 @@
 namespace csobj {
 
 /// The paper's FLAG/TURN fairness doorway.
-class RoundRobinArbiter {
+///
+/// \tparam Policy register policy (Instrumented / Fast), see
+///         memory/RegisterPolicy.h.
+template <typename Policy = DefaultRegisterPolicy>
+class RoundRobinArbiterT {
 public:
+  using RegisterPolicy = Policy;
+
   /// \p NumThreads is the paper's n; ids are 0..n-1. The initial TURN is
   /// arbitrary per the paper; 0 is used.
-  explicit RoundRobinArbiter(std::uint32_t NumThreads)
+  explicit RoundRobinArbiterT(std::uint32_t NumThreads)
       : N(NumThreads),
-        Flag(new CacheLinePadded<AtomicRegister<std::uint8_t>>[NumThreads]) {
+        Flag(new CacheLinePadded<
+             AtomicRegister<std::uint8_t, Policy>>[NumThreads]) {
     assert(NumThreads >= 1 && "arbiter needs at least one process");
   }
 
@@ -59,7 +72,7 @@ public:
     Flag[I].value().write(1);                        // line 04
     SpinWait Waiter;
     while (true) {                                   // line 05
-      const std::uint32_t T = Turn.read();
+      const std::uint32_t T = Turn.value().read();
       if (T == I)
         break;
       if (Flag[T].value().read() == 0)
@@ -73,15 +86,17 @@ public:
   void exitAndAdvance(std::uint32_t I) {
     assert(I < N && "thread id out of range");
     Flag[I].value().write(0);                        // line 10
-    const std::uint32_t T = Turn.read();             // line 11
+    const std::uint32_t T = Turn.value().read();     // line 11
     if (Flag[T].value().read() == 0)
-      Turn.write((T + 1) % N);
+      Turn.value().write((T + 1) % N);
   }
 
   std::uint32_t numThreads() const { return N; }
 
   /// Current TURN value (test/debug aid, uninstrumented).
-  std::uint32_t turnForTesting() const { return Turn.peekForTesting(); }
+  std::uint32_t turnForTesting() const {
+    return Turn.value().peekForTesting();
+  }
 
   /// Current FLAG[i] (test/debug aid, uninstrumented).
   bool flagForTesting(std::uint32_t I) const {
@@ -91,9 +106,13 @@ public:
 
 private:
   const std::uint32_t N;
-  AtomicRegister<std::uint32_t> Turn{0};
-  std::unique_ptr<CacheLinePadded<AtomicRegister<std::uint8_t>>[]> Flag;
+  CacheLinePadded<AtomicRegister<std::uint32_t, Policy>> Turn;
+  std::unique_ptr<CacheLinePadded<AtomicRegister<std::uint8_t, Policy>>[]>
+      Flag;
 };
+
+/// The library-default arbiter (instrumented unless CSOBJ_FAST_REGISTERS).
+using RoundRobinArbiter = RoundRobinArbiterT<>;
 
 } // namespace csobj
 

@@ -10,6 +10,12 @@
 /// Section 4.4 transformation (the paper's remark in 4.1: with a
 /// starvation-free lock, FLAG and TURN become useless).
 ///
+/// Memory orderings (audited): the spin read of NowServing is acquire —
+/// when it finally observes our ticket it synchronizes-with the previous
+/// holder's releasing NowServing store, ordering that critical section
+/// before ours. The ticket fetch-add is relaxed (it only reserves a
+/// number; it publishes nothing), and unlock's store is release.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSOBJ_LOCKS_TICKETLOCK_H
@@ -24,28 +30,37 @@
 namespace csobj {
 
 /// FIFO ticket lock.
-class TicketLock {
+///
+/// \tparam Policy register policy (Instrumented / Fast).
+template <typename Policy = DefaultRegisterPolicy>
+class TicketLockT {
 public:
   static constexpr const char *Name = "ticket";
+  using RegisterPolicy = Policy;
 
-  explicit TicketLock(std::uint32_t /*NumThreads*/ = 0) {}
+  explicit TicketLockT(std::uint32_t /*NumThreads*/ = 0) {}
 
   void lock(std::uint32_t /*Tid*/ = 0) {
-    const std::uint32_t Ticket = NextTicket.value().fetchAdd(1);
+    const std::uint32_t Ticket =
+        NextTicket.value().fetchAdd(1, std::memory_order_relaxed);
     SpinWait Waiter;
-    while (NowServing.value().read() != Ticket)
+    while (NowServing.value().read(std::memory_order_acquire) != Ticket)
       Waiter.once();
   }
 
   void unlock(std::uint32_t /*Tid*/ = 0) {
     // Only the holder writes NowServing; a plain increment is safe.
-    NowServing.value().write(NowServing.value().read() + 1);
+    NowServing.value().write(
+        NowServing.value().read(std::memory_order_relaxed) + 1,
+        std::memory_order_release);
   }
 
 private:
-  CacheLinePadded<AtomicRegister<std::uint32_t>> NextTicket;
-  CacheLinePadded<AtomicRegister<std::uint32_t>> NowServing;
+  CacheLinePadded<AtomicRegister<std::uint32_t, Policy>> NextTicket;
+  CacheLinePadded<AtomicRegister<std::uint32_t, Policy>> NowServing;
 };
+
+using TicketLock = TicketLockT<>;
 
 } // namespace csobj
 

@@ -5,28 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// AtomicRegister<T> models the paper's computation substrate (Section 2):
-/// an atomic register supporting read, write and Compare&Swap. It wraps
-/// std::atomic<T> and routes every operation through two thread-local
-/// instrumentation channels:
+/// AtomicRegister<T, Policy> models the paper's computation substrate
+/// (Section 2): an atomic register supporting read, write and
+/// Compare&Swap. It wraps std::atomic<T>; the Policy parameter
+/// (memory/RegisterPolicy.h) decides what else an access does:
 ///
-///  * access accounting (memory/AccessCounter.h) — regenerates the paper's
-///    "six shared-memory accesses" analysis, and
-///  * the scheduling hook (memory/SchedHook.h) — lets the interleaving
-///    explorer serialize and enumerate executions.
+///  * Instrumented (default) routes every operation through two
+///    thread-local instrumentation channels — access accounting
+///    (memory/AccessCounter.h), which regenerates the paper's "six
+///    shared-memory accesses" analysis, and the scheduling hook
+///    (memory/SchedHook.h), which lets the interleaving explorer
+///    serialize and enumerate executions.
+///  * Fast compiles each operation down to the bare std::atomic call —
+///    the zero-overhead path wall-clock benchmarks measure.
 ///
 /// Every shared register in this library (the stacks' TOP and STACK[],
 /// CONTENTION, FLAG[], TURN, the locks' state, the baselines' heads) is an
 /// AtomicRegister, so instrumentation is uniform across all compared
-/// implementations.
+/// implementations and switching policies swaps the whole substrate at
+/// once.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSOBJ_MEMORY_ATOMICREGISTER_H
 #define CSOBJ_MEMORY_ATOMICREGISTER_H
 
-#include "memory/AccessCounter.h"
-#include "memory/SchedHook.h"
+#include "memory/RegisterPolicy.h"
 
 #include <atomic>
 
@@ -35,10 +39,13 @@ namespace csobj {
 /// An atomic register in the sense of the paper: linearizable read, write
 /// and Compare&Swap. Default memory order is sequentially consistent,
 /// matching the interleaving model the paper's proofs assume; callers on
-/// hot paths may relax individual accesses where an argument exists.
-template <typename T>
+/// hot paths may relax individual accesses where a happens-before argument
+/// is written down at the call site.
+template <typename T, typename Policy = DefaultRegisterPolicy>
 class AtomicRegister {
 public:
+  using RegisterPolicy = Policy;
+
   AtomicRegister() = default;
   explicit AtomicRegister(T Initial) : Cell(Initial) {}
 
@@ -47,15 +54,15 @@ public:
 
   /// Atomic read. Counts as one shared-memory access.
   T read(std::memory_order Order = std::memory_order_seq_cst) const {
-    detail::preAccess(AccessKind::Read);
-    detail::noteRead();
+    Policy::preAccess(AccessKind::Read);
+    Policy::noteRead();
     return Cell.load(Order);
   }
 
   /// Atomic write. Counts as one shared-memory access.
   void write(T Value, std::memory_order Order = std::memory_order_seq_cst) {
-    detail::preAccess(AccessKind::Write);
-    detail::noteWrite();
+    Policy::preAccess(AccessKind::Write);
+    Policy::noteWrite();
     Cell.store(Value, Order);
   }
 
@@ -64,10 +71,10 @@ public:
   /// false. Counts as one shared-memory access whether or not it succeeds.
   bool compareAndSwap(T Expected, T Desired,
                       std::memory_order Order = std::memory_order_seq_cst) {
-    detail::preAccess(AccessKind::Cas);
-    const bool Succeeded =
-        Cell.compare_exchange_strong(Expected, Desired, Order, Order);
-    detail::noteCas(Succeeded);
+    Policy::preAccess(AccessKind::Cas);
+    const bool Succeeded = Cell.compare_exchange_strong(
+        Expected, Desired, Order, failOrderFor(Order));
+    Policy::noteCas(Succeeded);
     return Succeeded;
   }
 
@@ -76,24 +83,24 @@ public:
   bool compareAndSwapValue(T &ExpectedInOut, T Desired,
                            std::memory_order Order =
                                std::memory_order_seq_cst) {
-    detail::preAccess(AccessKind::Cas);
-    const bool Succeeded =
-        Cell.compare_exchange_strong(ExpectedInOut, Desired, Order, Order);
-    detail::noteCas(Succeeded);
+    Policy::preAccess(AccessKind::Cas);
+    const bool Succeeded = Cell.compare_exchange_strong(
+        ExpectedInOut, Desired, Order, failOrderFor(Order));
+    Policy::noteCas(Succeeded);
     return Succeeded;
   }
 
   /// Atomic exchange (used by test-and-set locks).
   T exchange(T Value, std::memory_order Order = std::memory_order_seq_cst) {
-    detail::preAccess(AccessKind::Rmw);
-    detail::noteRmw();
+    Policy::preAccess(AccessKind::Rmw);
+    Policy::noteRmw();
     return Cell.exchange(Value, Order);
   }
 
   /// Atomic fetch-add (used by the ticket lock). Only for integral T.
   T fetchAdd(T Delta, std::memory_order Order = std::memory_order_seq_cst) {
-    detail::preAccess(AccessKind::Rmw);
-    detail::noteRmw();
+    Policy::preAccess(AccessKind::Rmw);
+    Policy::noteRmw();
     return Cell.fetch_add(Delta, Order);
   }
 
@@ -102,6 +109,20 @@ public:
   T peekForTesting() const { return Cell.load(std::memory_order_seq_cst); }
 
 private:
+  /// The failure ordering a compare_exchange may legally carry when its
+  /// success ordering is \p Order: a failed C&S performs no store, so the
+  /// release component is dropped.
+  static constexpr std::memory_order failOrderFor(std::memory_order Order) {
+    switch (Order) {
+    case std::memory_order_acq_rel:
+      return std::memory_order_acquire;
+    case std::memory_order_release:
+      return std::memory_order_relaxed;
+    default:
+      return Order;
+    }
+  }
+
   std::atomic<T> Cell{};
 };
 

@@ -1,0 +1,84 @@
+//===- memory/RegisterPolicy.h - Register instrumentation policy *- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time policies selecting how much harness an AtomicRegister
+/// carries on every shared-memory access:
+///
+///  * Instrumented — the measurement substrate. Every access routes
+///    through the scheduling hook (memory/SchedHook.h) and the access
+///    accountant (memory/AccessCounter.h). This is what the paper's
+///    "six shared-memory accesses" experiments, the lincheck stress
+///    tests and the interleaving explorer require, and it is the
+///    default everywhere.
+///
+///  * Fast — the shipping substrate. An access is a bare std::atomic
+///    operation: zero thread-local loads, zero branches, nothing
+///    between the algorithm and the hardware. Wall-clock benchmarks
+///    compile against this policy so they measure the algorithm rather
+///    than the harness. The interleaving explorer and access-count
+///    oracles cannot observe Fast registers — tests that rely on either
+///    must use Instrumented.
+///
+/// Every register-bearing template in the library (AtomicRegister, the
+/// stacks and queues, the locks, the arbiter, the baselines) takes the
+/// policy as its trailing template parameter, defaulted to
+/// DefaultRegisterPolicy. Configuring CMake with -DCSOBJ_FAST_REGISTERS=ON
+/// flips the library-wide default to Fast; benchmark binaries instantiate
+/// both policies explicitly regardless of the default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_MEMORY_REGISTERPOLICY_H
+#define CSOBJ_MEMORY_REGISTERPOLICY_H
+
+#include "memory/AccessCounter.h"
+#include "memory/SchedHook.h"
+
+namespace csobj {
+
+/// Register policy routing every access through the thread-local
+/// scheduling hook and access accountant (the current library default).
+struct Instrumented {
+  static constexpr const char *Name = "instrumented";
+
+  static void preAccess(AccessKind Kind) { detail::preAccess(Kind); }
+  static void noteRead() { detail::noteRead(); }
+  static void noteWrite() { detail::noteWrite(); }
+  static void noteCas(bool Succeeded) { detail::noteCas(Succeeded); }
+  static void noteRmw() { detail::noteRmw(); }
+};
+
+/// Register policy compiling every access down to the bare std::atomic
+/// operation. Invisible to the access counter and the explorer.
+struct Fast {
+  static constexpr const char *Name = "fast";
+
+  static void preAccess(AccessKind) {}
+  static void noteRead() {}
+  static void noteWrite() {}
+  static void noteCas(bool) {}
+  static void noteRmw() {}
+};
+
+/// Library-wide default register policy. Instrumented unless the build
+/// sets CSOBJ_FAST_REGISTERS (CMake option of the same name).
+/// CSOBJ_FORCE_INSTRUMENTED_DEFAULT wins over both: the test suite pins
+/// it per-target because its oracles (access counts, the interleaving
+/// explorer, chaos injection) only exist on the Instrumented substrate —
+/// Fast-policy behaviour is covered by explicit instantiations in
+/// tests/register_policy_test.cpp and tests/contention_manager_test.cpp.
+#if defined(CSOBJ_FORCE_INSTRUMENTED_DEFAULT)
+using DefaultRegisterPolicy = Instrumented;
+#elif defined(CSOBJ_FAST_REGISTERS) && CSOBJ_FAST_REGISTERS
+using DefaultRegisterPolicy = Fast;
+#else
+using DefaultRegisterPolicy = Instrumented;
+#endif
+
+} // namespace csobj
+
+#endif // CSOBJ_MEMORY_REGISTERPOLICY_H

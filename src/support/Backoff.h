@@ -7,8 +7,11 @@
 /// \file
 /// Randomized exponential backoff, the simplest contention manager the
 /// paper's Section 5 alludes to. Used by baseline lock-free structures
-/// (Treiber, elimination stack) and available as an optional retry policy
-/// for the non-blocking stack of Figure 2.
+/// (Treiber, elimination stack) and available as a retry manager for the
+/// non-blocking constructions of Figure 2 and the protected retry of
+/// Figure 3. Both classes model the ContentionManager concept
+/// (support/ContentionManager.h): onAbort() after a bottom result,
+/// onSuccess() after a non-bottom one.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +22,7 @@
 #include "support/SplitMix64.h"
 
 #include <cstdint>
+#include <thread>
 
 namespace csobj {
 
@@ -27,6 +31,8 @@ namespace csobj {
 /// drawn from it.
 class ExponentialBackoff {
 public:
+  static constexpr const char *Name = "exp";
+
   explicit ExponentialBackoff(std::uint32_t MinWindow = 4,
                               std::uint32_t MaxWindow = 1024,
                               std::uint64_t Seed = 0x5bd1e995u)
@@ -45,6 +51,9 @@ public:
       std::this_thread::yield();
   }
 
+  /// ContentionManager spelling of onFailure().
+  void onAbort() { onFailure(); }
+
   /// Shrinks the window back to the floor after a success.
   void onSuccess() { Window = Floor; }
 
@@ -60,7 +69,11 @@ private:
 /// A no-op retry policy: retry immediately. Matches the literal text of
 /// Figure 2 ("repeat ... until res != bottom").
 struct NoBackoff {
+  static constexpr const char *Name = "none";
+
   void onFailure() { cpuRelax(); }
+  /// ContentionManager spelling of onFailure().
+  void onAbort() { onFailure(); }
   void onSuccess() {}
 };
 

@@ -1,0 +1,156 @@
+//===- support/ContentionManager.h - Retry-loop managers --------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contention-manager layer for the library's retry loops: the
+/// Figure 2 "repeat ... until res != bottom" loops of the non-blocking
+/// stack/queue and the protected retry (line 08) of Figure 3. A manager
+/// observes one operation's attempt stream — onAbort() after each bottom
+/// result, onSuccess() when the operation completes — and decides how
+/// long to stand back before the next attempt. This is the design space
+/// Dice, Hendler & Mirsky's lightweight CAS contention management
+/// explores: under load, *when* you retry matters multiples as much as
+/// how fast one attempt is.
+///
+/// Managers provided (all satisfy the ContentionManager concept):
+///  * NoBackoff           — retry immediately (the paper-literal loop).
+///  * ExponentialBackoff  — capped randomized doubling (support/Backoff.h).
+///  * YieldBackoff        — brief local spin, then surrender the
+///                          timeslice; the right manager on
+///                          oversubscribed hosts where the CAS winner
+///                          may not even be running.
+///  * AdaptiveBackoff     — widens from *observed* CAS-failure feedback
+///                          (the CasFailures channel of AccessCounts)
+///                          rather than blindly doubling, so a single
+///                          unlucky abort in an otherwise quiet system
+///                          does not park the thread.
+///
+/// A manager instance is per-operation: it lives for one strong/
+/// non-blocking operation's retry loop. Cross-operation adaptation is the
+/// caller's business (e.g. the adaptive manager can be seeded with the
+/// previous window).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_SUPPORT_CONTENTIONMANAGER_H
+#define CSOBJ_SUPPORT_CONTENTIONMANAGER_H
+
+#include "memory/AccessCounter.h"
+#include "support/Backoff.h"
+#include "support/SpinWait.h"
+#include "support/SplitMix64.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+
+namespace csobj {
+
+/// What a retry loop requires of its manager: react to an aborted attempt
+/// and to the operation's eventual completion.
+template <typename M>
+concept ContentionManager = requires(M Manager) {
+  Manager.onAbort();
+  Manager.onSuccess();
+};
+
+static_assert(ContentionManager<NoBackoff>);
+static_assert(ContentionManager<ExponentialBackoff>);
+
+/// Time-slice manager: a short in-core spin for the common
+/// immediately-resolved conflict, then yield the core on every further
+/// abort so the operation that beat us can finish. No shared state, no
+/// randomness — the OS scheduler is the backoff.
+class YieldBackoff {
+public:
+  static constexpr const char *Name = "yield";
+
+  explicit YieldBackoff(std::uint32_t SpinBudget = 16)
+      : Budget(SpinBudget) {}
+
+  void onAbort() {
+    if (++Aborts <= Budget) {
+      cpuRelax();
+      return;
+    }
+    std::this_thread::yield();
+  }
+
+  void onSuccess() { Aborts = 0; }
+
+  std::uint32_t abortsObserved() const { return Aborts; }
+
+private:
+  std::uint32_t Budget;
+  std::uint32_t Aborts = 0;
+};
+
+static_assert(ContentionManager<YieldBackoff>);
+
+/// Feedback-driven backoff. Where ExponentialBackoff doubles on every
+/// abort, AdaptiveBackoff widens in proportion to the contention it can
+/// actually see: under the Instrumented register policy each abort
+/// consults the thread's AccessCounts.CasFailures delta since the last
+/// abort (every failed C&S inside the weak operation — TOP, slot, help —
+/// is evidence of a rival), and widens one doubling per observed failure
+/// (capped). Under the Fast policy no counts exist and each abort is
+/// itself the one observable failure, so the manager degrades exactly to
+/// capped exponential doubling. Successes halve the window instead of
+/// resetting it, so a long contended phase is remembered across the
+/// operations of one retry loop.
+class AdaptiveBackoff {
+public:
+  static constexpr const char *Name = "adaptive";
+
+  explicit AdaptiveBackoff(std::uint32_t MinWindow = 2,
+                           std::uint32_t MaxWindow = 4096,
+                           std::uint64_t Seed = 0x9e3779b9u)
+      : Window(MinWindow), Floor(MinWindow), Cap(MaxWindow), Rng(Seed) {
+    if (const AccessCounts *Counts = detail::ActiveAccessCounts)
+      LastCasFailures = Counts->CasFailures;
+  }
+
+  void onAbort() {
+    // How many C&S failures has this thread accumulated since the last
+    // abort? At least one: the failed attempt that brought us here.
+    std::uint64_t Observed = 1;
+    if (const AccessCounts *Counts = detail::ActiveAccessCounts) {
+      Observed = std::max<std::uint64_t>(
+          Counts->CasFailures - LastCasFailures, 1);
+      LastCasFailures = Counts->CasFailures;
+    }
+    const std::uint32_t Doublings =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(Observed, 6));
+    Window = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(Window)
+                                    << Doublings,
+                                Cap));
+    const std::uint64_t Steps = Rng.below(Window) + 1;
+    for (std::uint64_t I = 0; I < Steps; ++I)
+      cpuRelax();
+    // At the cap the manager has concluded the system is saturated:
+    // surrender the timeslice rather than burn a shared core.
+    if (Window >= Cap)
+      std::this_thread::yield();
+  }
+
+  void onSuccess() { Window = std::max(Floor, Window / 2); }
+
+  std::uint32_t window() const { return Window; }
+
+private:
+  std::uint32_t Window;
+  std::uint32_t Floor;
+  std::uint32_t Cap;
+  std::uint64_t LastCasFailures = 0;
+  SplitMix64 Rng;
+};
+
+static_assert(ContentionManager<AdaptiveBackoff>);
+
+} // namespace csobj
+
+#endif // CSOBJ_SUPPORT_CONTENTIONMANAGER_H
