@@ -24,6 +24,7 @@
 #include "core/AbortableStack.h"
 #include "core/ContentionSensitiveQueue.h"
 #include "core/ContentionSensitiveStack.h"
+#include "core/CrashTolerantStack.h"
 #include "core/NonBlockingQueue.h"
 #include "core/NonBlockingStack.h"
 #include "locks/McsLock.h"
@@ -33,7 +34,9 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <optional>
 #include <ostream>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -183,6 +186,25 @@ struct EliminationStackAdapter {
   EliminationBackoffStack Stack;
 };
 
+/// Crash-tolerant Figure 3 (core/CrashTolerantStack.h): leased lock,
+/// recoverable doorway, lock-free fallback. Exposes the degradation
+/// stats so benches can report how often the slow path fell back.
+struct CrashTolerantStackAdapter {
+  static constexpr const char *Name = "crash-tolerant(fig3+leases)";
+  CrashTolerantStackAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Stack(Threads, Capacity) {}
+  CrashTolerantStackAdapter(std::uint32_t Threads, std::uint32_t Capacity,
+                            std::uint32_t Patience)
+      : Stack(Threads, Capacity, Patience) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  DegradationStats stats() const { return Stack.skeleton().statsForTesting(); }
+  CrashTolerantStack<> Stack;
+};
+
 /// Coarse lock-based stack, parametric in the lock.
 template <typename Lock>
 struct LockedStackAdapter {
@@ -277,12 +299,75 @@ struct LockedQueueAdapter {
 /// all implementations run under the identical hook.
 inline constexpr std::uint32_t DefaultChaosPermille = 100;
 
-/// Runs one sweep cell: fresh adapter, closed loop, returns the report.
+/// Chaos-injection knobs for a sweep cell (memory/ChaosHook.h): the
+/// yield channel models ordinary preemption, the stall channel models
+/// the long lock-holder preemption that expires a lease.
+struct ChaosSettings {
+  std::uint32_t YieldPermille = DefaultChaosPermille;
+  std::uint32_t StallPermille = 0;
+  std::uint64_t StallGrants = 0;
+  /// Thread the stall channel targets (~0 = all). Benches stall a single
+  /// victim so that survivors keep ticking the access clock — see the
+  /// note on WorkloadConfig::ChaosStallTid.
+  std::uint32_t StallTid = ~std::uint32_t{0};
+};
+
+/// Parses the CSOBJ_CHAOS environment variable: comma-separated
+/// key=value pairs, keys "yield" (permille), "stall" (permille),
+/// "grants" (stall length in foreign shared accesses) and "victim"
+/// (thread id the stall channel targets; omit for all threads), e.g.
+///
+///   CSOBJ_CHAOS="yield=100,stall=5,grants=2000" ./bench_starvation
+///
+/// Unknown keys are ignored; unset keys keep their defaults. Returns
+/// nothing when the variable is absent, so every bench keeps its
+/// compiled-in settings unless the user opts into chaos mode.
+inline std::optional<ChaosSettings> chaosFromEnv() {
+  const char *Env = std::getenv("CSOBJ_CHAOS");
+  if (Env == nullptr || Env[0] == '\0')
+    return std::nullopt;
+  ChaosSettings Settings;
+  const char *P = Env;
+  while (*P != '\0') {
+    const char *KeyBegin = P;
+    while (*P != '\0' && *P != '=' && *P != ',')
+      ++P;
+    const std::size_t KeyLen = static_cast<std::size_t>(P - KeyBegin);
+    std::uint64_t Value = 0;
+    if (*P == '=') {
+      ++P;
+      while (*P >= '0' && *P <= '9')
+        Value = Value * 10 + static_cast<std::uint64_t>(*P++ - '0');
+    }
+    const auto Is = [&](const char *Key) {
+      return KeyLen == std::char_traits<char>::length(Key) &&
+             std::char_traits<char>::compare(KeyBegin, Key, KeyLen) == 0;
+    };
+    if (Is("yield"))
+      Settings.YieldPermille = static_cast<std::uint32_t>(Value);
+    else if (Is("stall"))
+      Settings.StallPermille = static_cast<std::uint32_t>(Value);
+    else if (Is("grants"))
+      Settings.StallGrants = Value;
+    else if (Is("victim"))
+      Settings.StallTid = static_cast<std::uint32_t>(Value);
+    while (*P != '\0' && *P != ',')
+      ++P;
+    if (*P == ',')
+      ++P;
+  }
+  return Settings;
+}
+
+/// Like runCell below but drives a caller-supplied adapter with explicit
+/// chaos settings, so per-object state (e.g. degradation counters on
+/// CrashTolerantStackAdapter) survives the run for reporting.
 template <typename AdapterT>
-WorkloadReport runCell(std::uint32_t Threads, std::uint32_t ThinkNs = 0,
-                       std::uint32_t PushPercent = 50,
-                       std::uint32_t Capacity = 4096,
-                       std::uint32_t ChaosPermille = DefaultChaosPermille) {
+WorkloadReport runCellOn(AdapterT &Adapter, std::uint32_t Threads,
+                         const ChaosSettings &Chaos,
+                         std::uint32_t ThinkNs = 0,
+                         std::uint32_t PushPercent = 50,
+                         std::uint32_t Capacity = 4096) {
   WorkloadConfig Config;
   Config.Threads = Threads;
   Config.OpsPerThread = opsPerThread();
@@ -290,9 +375,27 @@ WorkloadReport runCell(std::uint32_t Threads, std::uint32_t ThinkNs = 0,
   Config.ThinkTimeNs = ThinkNs;
   Config.Capacity = Capacity;
   Config.PrefillPercent = 50;
-  Config.ChaosYieldPermille = Threads > 1 ? ChaosPermille : 0;
-  AdapterT Adapter(Threads, Capacity);
+  Config.ChaosYieldPermille = Threads > 1 ? Chaos.YieldPermille : 0;
+  Config.ChaosStallPermille = Threads > 1 ? Chaos.StallPermille : 0;
+  Config.ChaosStallGrants = Chaos.StallGrants;
+  Config.ChaosStallTid = Chaos.StallTid;
   return runClosedLoop(Adapter, Config);
+}
+
+/// Runs one sweep cell: fresh adapter, closed loop, returns the report.
+/// CSOBJ_CHAOS, when set, overrides the compiled-in chaos level for
+/// every cell (chaos mode without recompiling).
+template <typename AdapterT>
+WorkloadReport runCell(std::uint32_t Threads, std::uint32_t ThinkNs = 0,
+                       std::uint32_t PushPercent = 50,
+                       std::uint32_t Capacity = 4096,
+                       std::uint32_t ChaosPermille = DefaultChaosPermille) {
+  ChaosSettings Chaos;
+  Chaos.YieldPermille = ChaosPermille;
+  if (const std::optional<ChaosSettings> Env = chaosFromEnv())
+    Chaos = *Env;
+  AdapterT Adapter(Threads, Capacity);
+  return runCellOn(Adapter, Threads, Chaos, ThinkNs, PushPercent, Capacity);
 }
 
 } // namespace bench

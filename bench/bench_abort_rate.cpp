@@ -12,19 +12,27 @@
 /// time between operations (approaching the "contention-free context")
 /// drives the abort rate back toward zero.
 ///
+/// Results are also written to BENCH_abort_rate.json for plots and
+/// regression tooling. CSOBJ_CHAOS overrides the chaos level of every
+/// cell (see bench/BenchCommon.h).
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "JsonReporter.h"
 
 #include "runtime/TablePrinter.h"
 
 #include <iostream>
+#include <string>
 
 int main() {
   using namespace csobj;
   using namespace csobj::bench;
 
   printRegisterPolicy(std::cout);
+  JsonReporter Json;
+
   {
     TablePrinter Table({"threads", "ops", "aborts", "abort-rate",
                         "throughput"});
@@ -36,6 +44,14 @@ int main() {
                     std::to_string(R.totalAborts()),
                     formatDouble(R.abortRate() * 100, 2) + "%",
                     formatRate(R.throughputOpsPerSec())});
+      Json.beginRecord();
+      Json.field("experiment", "E2a_threads");
+      Json.field("threads", Threads);
+      Json.field("ops", R.totalOps());
+      Json.field("aborts", R.totalAborts());
+      Json.field("abort_rate", R.abortRate());
+      Json.field("throughput_ops_per_sec", R.throughputOpsPerSec());
+      Json.endRecord();
     }
     Table.print(std::cout);
   }
@@ -53,6 +69,14 @@ int main() {
       Table.addRow({std::to_string(Chaos),
                     std::to_string(R.totalAborts()),
                     formatDouble(R.abortRate() * 100, 3) + "%"});
+      Json.beginRecord();
+      Json.field("experiment", "E2b_asynchrony");
+      Json.field("threads", Threads);
+      Json.field("chaos_permille", Chaos);
+      Json.field("ops", R.totalOps());
+      Json.field("aborts", R.totalAborts());
+      Json.field("abort_rate", R.abortRate());
+      Json.endRecord();
     }
     Table.print(std::cout);
   }
@@ -63,8 +87,22 @@ int main() {
     const WorkloadReport R = runCell<WeakStackAdapter>(1);
     Table.addRow({"1", std::to_string(R.totalAborts()),
                   formatDouble(R.abortRate() * 100, 3) + "%"});
+    Json.beginRecord();
+    Json.field("experiment", "E2c_solo");
+    Json.field("threads", std::uint32_t{1});
+    Json.field("ops", R.totalOps());
+    Json.field("aborts", R.totalAborts());
+    Json.field("abort_rate", R.abortRate());
+    Json.endRecord();
     Table.print(std::cout);
   }
+
+  const std::string JsonPath = "BENCH_abort_rate.json";
+  if (!Json.writeFile(JsonPath)) {
+    std::cerr << "error: could not write " << JsonPath << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << JsonPath << "\n";
 
   std::cout << "\npaper claim: an operation executed in a contention-free "
                "context never returns bottom;\naborts appear only under "

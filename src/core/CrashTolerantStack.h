@@ -1,0 +1,93 @@
+//===- core/CrashTolerantStack.h - Degradable Figure 3 stack ----*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The headline stack rebuilt on the crash-tolerant skeleton
+/// (core/CrashTolerant.h): linearizable and contention-sensitive like
+/// ContentionSensitiveStack — an uncontended operation is lock-free and
+/// performs the same six shared-memory accesses — but a process crashing
+/// while competing for or holding the slow-path lock no longer wedges
+/// the object. Survivors detect the stale lease within their patience
+/// budget, revoke it, and complete through the Figure 2 retry loop;
+/// progress degrades from starvation-free to lock-free instead of
+/// vanishing, and every degradation is counted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_CRASHTOLERANTSTACK_H
+#define CSOBJ_CORE_CRASHTOLERANTSTACK_H
+
+#include "core/AbortableStack.h"
+#include "core/CrashTolerant.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace csobj {
+
+/// Crash-tolerant contention-sensitive bounded stack.
+///
+/// \tparam Config  codec family (Compact64 / Wide128).
+/// \tparam Manager ContentionManager pacing protected and degraded
+///         retries.
+/// \tparam Policy  register policy (Instrumented / Fast).
+template <typename Config = Compact64, ContentionManager Manager = NoBackoff,
+          typename Policy = DefaultRegisterPolicy>
+class CrashTolerantStack {
+public:
+  using Value = typename Config::Value;
+  using Skeleton = CrashTolerantContentionSensitive<Manager, Policy>;
+  using RegisterPolicy = Policy;
+  static constexpr Value Bottom = AbortableStack<Config, Policy>::Bottom;
+
+  /// \p NumThreads is the paper's n (ids 0..n-1); \p Capacity is k;
+  /// \p Patience bounds slow-path waiting (see CrashTolerant.h).
+  CrashTolerantStack(std::uint32_t NumThreads, std::uint32_t Capacity,
+                     std::uint32_t Patience = Skeleton::DefaultPatience)
+      : Weak(Capacity), Strong(NumThreads, Patience) {}
+
+  /// strong_push(v): Done or Full, never Abort; terminates even when
+  /// other processes crash mid-operation.
+  PushResult push(std::uint32_t Tid, Value V) {
+    return Strong.strongApply(Tid, [this, V]() -> std::optional<PushResult> {
+      const PushResult Res = Weak.weakPush(V);
+      if (Res == PushResult::Abort)
+        return std::nullopt; // res = bottom
+      return Res;
+    });
+  }
+
+  /// strong_pop(): a value or Empty, never Abort; terminates even when
+  /// other processes crash mid-operation.
+  PopResult<Value> pop(std::uint32_t Tid) {
+    return Strong.strongApply(
+        Tid, [this]() -> std::optional<PopResult<Value>> {
+          const PopResult<Value> Res = Weak.weakPop();
+          if (Res.isAbort())
+            return std::nullopt; // res = bottom
+          return Res;
+        });
+  }
+
+  std::uint32_t capacity() const { return Weak.capacity(); }
+  std::uint32_t numThreads() const { return Strong.numThreads(); }
+  std::uint32_t sizeForTesting() const { return Weak.sizeForTesting(); }
+
+  /// The underlying Figure 1 object (test/debug aid).
+  AbortableStack<Config, Policy> &abortable() { return Weak; }
+
+  /// The crash-tolerant skeleton (test/debug/stats aid).
+  Skeleton &skeleton() { return Strong; }
+  const Skeleton &skeleton() const { return Strong; }
+
+private:
+  AbortableStack<Config, Policy> Weak;
+  Skeleton Strong;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_CRASHTOLERANTSTACK_H

@@ -1,0 +1,221 @@
+//===- faults/FaultInjector.h - Fault plan execution ------------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a FaultPlan (faults/FaultPlan.h) against real code, through
+/// the same SchedHook channel the interleaving explorer uses — every
+/// AtomicRegister access of an Instrumented-policy object is a potential
+/// fault point, so the plan's access indices mean the same thing in every
+/// execution mode.
+///
+///  * FaultInjector is a per-thread SchedHook for wall-clock runs (the
+///    closed-loop Driver, stress tests). At the trigger access it either
+///    throws ProcessCrash — the worker loop catches it and retires the
+///    thread, modelling crash-stop — or stalls until enough foreign
+///    accesses have ticked the run's shared FaultClock.
+///  * faultPlanPick() adapts the same plan to the InterleaveScheduler: it
+///    returns a picking policy that crashes the victim via KillFlag at
+///    exactly the planned access index and refuses to grant a stalled
+///    victim while other threads still have accesses to run.
+///
+/// Both executors keep per-thread access counts themselves; nothing in
+/// the algorithm under test needs to cooperate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_FAULTS_FAULTINJECTOR_H
+#define CSOBJ_FAULTS_FAULTINJECTOR_H
+
+#include "faults/FaultPlan.h"
+#include "memory/SchedHook.h"
+#include "sched/InterleaveScheduler.h"
+#include "support/SpinWait.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace csobj {
+
+/// Thrown by FaultInjector at a crash-stop trigger point; the access
+/// never executes. Wall-clock harnesses (runtime/Driver.h) catch it and
+/// retire the thread. Distinct from sched::SimulatedCrash so that a
+/// harness can tell planned wall-clock faults from explorer kills.
+struct ProcessCrash {};
+
+/// Logical clock shared by all FaultInjector instances of one run: every
+/// shared access by any hooked thread ticks it once. Stalls are measured
+/// in foreign ticks, so a stalled thread's own (suspended) accesses do
+/// not count toward its release.
+struct FaultClock {
+  std::atomic<std::uint64_t> Ticks{0};
+};
+
+/// Per-thread wall-clock fault executor. Install with SchedHookScope.
+/// Chains to an optional inner hook (e.g. ChaosHook) so fault plans and
+/// randomized asynchrony compose.
+class FaultInjector final : public SchedHook {
+public:
+  FaultInjector(const FaultPlan &Plan, std::uint32_t Tid, FaultClock &Clock,
+                SchedHook *Inner = nullptr)
+      : Clock(Clock), Inner(Inner) {
+    for (const FaultSpec &Spec : Plan.Faults)
+      if (Spec.Tid == Tid)
+        Pending.push_back(Spec);
+    std::sort(Pending.begin(), Pending.end(),
+              [](const FaultSpec &A, const FaultSpec &B) {
+                return A.AtAccess < B.AtAccess;
+              });
+  }
+
+  void beforeSharedAccess(AccessKind Kind) override {
+    if (Inner)
+      Inner->beforeSharedAccess(Kind);
+    Clock.Ticks.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t Index = NextAccess++;
+    if (Next >= Pending.size() || Pending[Next].AtAccess != Index)
+      return;
+    const FaultSpec Spec = Pending[Next++];
+    if (Spec.Kind == FaultKind::CrashStop)
+      throw ProcessCrash{};
+    stall(Spec.StallGrants);
+  }
+
+  /// Number of accesses this thread has attempted so far.
+  std::uint64_t accessesSeen() const { return NextAccess; }
+
+private:
+  /// Holds the thread until \p Grants foreign accesses have ticked the
+  /// clock. Escape hatch: if the clock stops advancing (the victim is
+  /// the only live thread, or every other thread is itself stalled) the
+  /// stall expires after a bounded quiet spell instead of deadlocking
+  /// the run or burning a grant-proportional wait.
+  void stall(std::uint64_t Grants) {
+    const std::uint64_t Start = Clock.Ticks.load(std::memory_order_relaxed);
+    std::uint64_t LastSeen = Start;
+    std::uint32_t Idle = 0;
+    SpinWait Waiter;
+    while (Clock.Ticks.load(std::memory_order_relaxed) - Start < Grants) {
+      Waiter.once();
+      const std::uint64_t Now =
+          Clock.Ticks.load(std::memory_order_relaxed);
+      if (Now == LastSeen) {
+        if (++Idle > IdleYieldCap)
+          break;
+      } else {
+        LastSeen = Now;
+        Idle = 0;
+      }
+    }
+  }
+
+  /// Consecutive progress-free waits before a stall expires early.
+  static constexpr std::uint32_t IdleYieldCap = 512;
+
+  FaultClock &Clock;
+  SchedHook *Inner;
+  std::vector<FaultSpec> Pending;
+  std::size_t Next = 0;
+  std::uint64_t NextAccess = 0;
+};
+
+/// Adapts a FaultPlan to the InterleaveScheduler: wraps \p Base so that a
+/// planned crash is delivered via KillFlag at exactly the victim's
+/// AtAccess-th granted access, and a planned stall keeps the victim
+/// parked until StallGrants foreign accesses have been granted (or no
+/// other thread can run, in which case the stall expires — mirroring the
+/// wall-clock escape hatch). The returned policy owns its per-thread
+/// grant counters, so build a fresh one per run.
+inline InterleaveScheduler::PickFn
+faultPlanPick(FaultPlan Plan, InterleaveScheduler::PickFn Base =
+                                  [](std::size_t,
+                                     const std::vector<std::uint32_t> &P) {
+                                    return P.front();
+                                  }) {
+  struct State {
+    FaultPlan Plan;
+    InterleaveScheduler::PickFn Base;
+    std::vector<char> Consumed;         ///< One-shot flag per plan entry.
+    std::vector<std::uint64_t> Granted; ///< Per-tid granted-access counts.
+    std::uint64_t TotalGrants = 0;
+    /// Active stall: victim tid and the TotalGrants value at which it
+    /// may run again. ~0 tid = none.
+    std::uint32_t StalledTid = ~std::uint32_t{0};
+    std::uint64_t StallUntil = 0;
+  };
+  auto S = std::make_shared<State>();
+  S->Plan = std::move(Plan);
+  S->Base = std::move(Base);
+  S->Consumed.assign(S->Plan.Faults.size(), 0);
+
+  return [S](std::size_t Step,
+             const std::vector<std::uint32_t> &Parked) -> std::uint32_t {
+    auto countFor = [&](std::uint32_t Tid) -> std::uint64_t & {
+      if (Tid >= S->Granted.size())
+        S->Granted.resize(Tid + 1, 0);
+      return S->Granted[Tid];
+    };
+    // Expire a finished stall.
+    if (S->StalledTid != ~std::uint32_t{0} &&
+        S->TotalGrants >= S->StallUntil)
+      S->StalledTid = ~std::uint32_t{0};
+
+    // Candidates the base policy may pick: everyone not actively stalled.
+    std::vector<std::uint32_t> Eligible;
+    for (const std::uint32_t Tid : Parked)
+      if (Tid != S->StalledTid)
+        Eligible.push_back(Tid);
+    if (Eligible.empty()) {
+      // Only the stalled victim can run: the stall expires (wall-clock
+      // escape-hatch semantics).
+      S->StalledTid = ~std::uint32_t{0};
+      Eligible = Parked;
+    }
+
+    const std::uint32_t Chosen =
+        S->Base(Step, Eligible) & ~InterleaveScheduler::KillFlag;
+    std::uint64_t &Count = countFor(Chosen);
+
+    // Does a fault trigger at this access of the chosen thread?
+    for (std::size_t I = 0; I < S->Plan.Faults.size(); ++I) {
+      const FaultSpec &Spec = S->Plan.Faults[I];
+      if (S->Consumed[I] || Spec.Tid != Chosen || Spec.AtAccess != Count)
+        continue;
+      S->Consumed[I] = 1;
+      if (Spec.Kind == FaultKind::CrashStop) {
+        // The access is not granted (KillFlag unwinds before it runs),
+        // so the per-thread count does not advance.
+        return Chosen | InterleaveScheduler::KillFlag;
+      }
+      // Stall: start holding the victim, grant someone else this step.
+      S->StalledTid = Chosen;
+      S->StallUntil = S->TotalGrants + Spec.StallGrants;
+      std::vector<std::uint32_t> Others;
+      for (const std::uint32_t Tid : Parked)
+        if (Tid != Chosen)
+          Others.push_back(Tid);
+      if (Others.empty()) {
+        S->StalledTid = ~std::uint32_t{0}; // Nobody else: stall expires.
+        break;
+      }
+      const std::uint32_t Alt =
+          S->Base(Step, Others) & ~InterleaveScheduler::KillFlag;
+      ++countFor(Alt);
+      ++S->TotalGrants;
+      return Alt;
+    }
+
+    ++Count;
+    ++S->TotalGrants;
+    return Chosen;
+  };
+}
+
+} // namespace csobj
+
+#endif // CSOBJ_FAULTS_FAULTINJECTOR_H

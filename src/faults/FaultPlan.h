@@ -1,0 +1,85 @@
+//===- faults/FaultPlan.h - Declarative fault descriptions ------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarative fault plans for the crash/stall fault model of Section 5.
+/// A FaultPlan is plain data naming *which* process misbehaves and *when*
+/// (at its K-th shared-memory access, in the paper's access-counting
+/// convention), independent of how the plan is executed:
+///
+///  * wall-clock runs execute a plan through faults/FaultInjector.h — a
+///    SchedHook that crashes or stalls the thread at the trigger access;
+///  * explorer runs execute the same plan through faultPlanPick()
+///    (faults/FaultInjector.h), which turns it into an
+///    InterleaveScheduler picking policy so crashes land at exactly the
+///    chosen access point of a controlled schedule.
+///
+/// Fault kinds:
+///
+///  * CrashStop — the paper's process-crash fault: the process stops at
+///    the trigger point forever; the access never executes and whatever
+///    prefix ran stays in shared memory.
+///  * Stall — a bounded asynchrony burst: the process is held at the
+///    trigger point until StallGrants shared accesses by *other* threads
+///    have been granted (logical time, so the same plan is meaningful in
+///    both wall-clock and explorer executions), then resumes normally.
+///    This models the lease-expiry scenario of locks/LeasedLock.h: a
+///    lock holder preempted long enough for a waiter's patience to run
+///    out, without the holder actually dying.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_FAULTS_FAULTPLAN_H
+#define CSOBJ_FAULTS_FAULTPLAN_H
+
+#include <cstdint>
+#include <vector>
+
+namespace csobj {
+
+/// What happens to the victim at the trigger point.
+enum class FaultKind : std::uint8_t {
+  CrashStop, ///< Process stops forever (Section 5 crash fault).
+  Stall      ///< Process is held for StallGrants foreign accesses.
+};
+
+/// One fault: thread \p Tid misbehaves at its \p AtAccess-th shared
+/// access (0-based, counted per thread).
+struct FaultSpec {
+  std::uint32_t Tid = 0;
+  std::uint64_t AtAccess = 0;
+  FaultKind Kind = FaultKind::CrashStop;
+  /// Stall only: how many accesses by other threads must be granted
+  /// before the victim resumes.
+  std::uint64_t StallGrants = 0;
+};
+
+/// An ordered collection of faults to inject into one run.
+struct FaultPlan {
+  std::vector<FaultSpec> Faults;
+
+  bool empty() const { return Faults.empty(); }
+
+  /// Convenience: crash \p Tid at its \p K-th shared access.
+  static FaultPlan crashAt(std::uint32_t Tid, std::uint64_t K) {
+    FaultPlan Plan;
+    Plan.Faults.push_back({Tid, K, FaultKind::CrashStop, 0});
+    return Plan;
+  }
+
+  /// Convenience: stall \p Tid at its \p K-th shared access until
+  /// \p Grants foreign accesses have been granted.
+  static FaultPlan stallAt(std::uint32_t Tid, std::uint64_t K,
+                           std::uint64_t Grants) {
+    FaultPlan Plan;
+    Plan.Faults.push_back({Tid, K, FaultKind::Stall, Grants});
+    return Plan;
+  }
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_FAULTS_FAULTPLAN_H

@@ -16,6 +16,24 @@
 /// about. All implementations are measured under the same hook, so
 /// comparisons remain like-for-like.
 ///
+/// Two injection channels:
+///
+///  * yield (YieldPermille)  — surrender the timeslice once; models an
+///    ordinary preemption.
+///  * stall (StallPermille / StallGrants) — hold the thread until
+///    StallGrants shared accesses by *other* hooked threads have been
+///    granted (measured on a process-wide access clock). This models the
+///    long preemption that expires a lease (locks/LeasedLock.h): the
+///    victim is gone long enough for waiters' patience budgets to run
+///    out, then comes back alive — the false-suspicion scenario the
+///    crash-tolerant slow path must absorb. When the rest of the system
+///    is idle the stall expires after a bounded number of yields rather
+///    than deadlocking a solo run.
+///
+/// Benchmarks expose both knobs through the CSOBJ_CHAOS environment
+/// variable (bench/BenchCommon.h), so any bench can run chaos mode
+/// without recompiling.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSOBJ_MEMORY_CHAOSHOOK_H
@@ -24,26 +42,73 @@
 #include "memory/SchedHook.h"
 #include "support/SplitMix64.h"
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 
 namespace csobj {
 
-/// Yields before a shared access with probability YieldPermille / 1000.
+/// Yields or stalls before a shared access with the configured
+/// per-mille probabilities.
 class ChaosHook final : public SchedHook {
 public:
-  ChaosHook(std::uint64_t Seed, std::uint32_t YieldPermille)
-      : Rng(Seed), Permille(YieldPermille) {}
+  ChaosHook(std::uint64_t Seed, std::uint32_t YieldPermille,
+            std::uint32_t StallPermille = 0, std::uint64_t StallGrants = 0)
+      : Rng(Seed), Permille(YieldPermille), StallPermille(StallPermille),
+        StallGrants(StallGrants) {}
 
   void beforeSharedAccess(AccessKind Kind) override {
     (void)Kind;
+    // Tick the shared access clock: this access is about to be granted.
+    AccessClock.fetch_add(1, std::memory_order_relaxed);
+    if (StallPermille > 0 && Rng.below(1000) < StallPermille)
+      stall();
     if (Rng.below(1000) < Permille)
       std::this_thread::yield();
   }
 
+  /// Total stalls this hook instance executed (test aid).
+  std::uint64_t stallsTaken() const { return Stalls; }
+
 private:
+  void stall() {
+    ++Stalls;
+    const std::uint64_t Start = AccessClock.load(std::memory_order_relaxed);
+    std::uint64_t LastSeen = Start;
+    std::uint32_t Idle = 0;
+    // Own accesses are suspended for the duration, so every clock tick
+    // is a grant to some other thread.
+    while (AccessClock.load(std::memory_order_relaxed) - Start <
+           StallGrants) {
+      std::this_thread::yield();
+      const std::uint64_t Now =
+          AccessClock.load(std::memory_order_relaxed);
+      if (Now == LastSeen) {
+        // No foreign progress. Expire after a bounded quiet spell: the
+        // rest of the system is idle, finished, or itself stalled (two
+        // stalled threads must not wait out each other's grant budget).
+        if (++Idle > IdleYieldCap)
+          break;
+      } else {
+        LastSeen = Now;
+        Idle = 0;
+      }
+    }
+  }
+
+  /// Consecutive progress-free yields before a stall expires early.
+  static constexpr std::uint32_t IdleYieldCap = 512;
+
+  /// Process-wide clock of hooked shared accesses. Statistical chaos
+  /// only — the deterministic fault plans of faults/FaultInjector.h keep
+  /// their own per-run clock.
+  inline static std::atomic<std::uint64_t> AccessClock{0};
+
   SplitMix64 Rng;
   std::uint32_t Permille;
+  std::uint32_t StallPermille;
+  std::uint64_t StallGrants;
+  std::uint64_t Stalls = 0;
 };
 
 } // namespace csobj

@@ -27,8 +27,10 @@
 #ifndef CSOBJ_RUNTIME_DRIVER_H
 #define CSOBJ_RUNTIME_DRIVER_H
 
+#include "faults/FaultInjector.h"
 #include "memory/ChaosHook.h"
 #include "runtime/SpinBarrier.h"
+#include "runtime/Watchdog.h"
 #include "runtime/Workload.h"
 #include "support/SplitMix64.h"
 
@@ -61,17 +63,36 @@ WorkloadReport runClosedLoop(AdapterT &Adapter, const WorkloadConfig &Config) {
   std::vector<std::thread> Workers;
   Workers.reserve(Config.Threads);
 
+  // Shared access clock for deterministic fault plans and the liveness
+  // watchdog (runtime/Watchdog.h). Both are inert when unconfigured.
+  FaultClock Clock;
+  Watchdog Dog(Config.Threads, Config.OpDeadlineNs);
+  Dog.start();
+
   for (std::uint32_t Tid = 0; Tid < Config.Threads; ++Tid) {
     Workers.emplace_back([&, Tid] {
       ThreadReport &Mine = Report.PerThread[Tid];
       SplitMix64 Rng = SplitMix64(Config.Seed).split(Tid);
       // Optional asynchrony injection (see memory/ChaosHook.h): emulate
-      // preemption at shared-access points on single-core hosts.
+      // preemption at shared-access points on single-core hosts. The
+      // stall channel applies only to the configured victim thread.
+      const bool StallsMe = Config.ChaosStallTid == ~std::uint32_t{0} ||
+                            Config.ChaosStallTid == Tid;
       ChaosHook Chaos(Config.Seed ^ (Tid * 0x9e3779b9u),
-                      Config.ChaosYieldPermille);
-      std::optional<SchedHookScope> ChaosScope;
-      if (Config.ChaosYieldPermille > 0)
-        ChaosScope.emplace(Chaos);
+                      Config.ChaosYieldPermille,
+                      StallsMe ? Config.ChaosStallPermille : 0,
+                      Config.ChaosStallGrants);
+      const bool ChaosActive = Config.ChaosYieldPermille > 0 ||
+                               (StallsMe && Config.ChaosStallPermille > 0);
+      // Deterministic faults chain the chaos hook so both channels fire.
+      FaultInjector Injector(Config.Faults, Tid, Clock,
+                             ChaosActive ? &Chaos : nullptr);
+      const bool FaultsActive = !Config.Faults.empty();
+      std::optional<SchedHookScope> HookScope;
+      if (FaultsActive)
+        HookScope.emplace(Injector);
+      else if (ChaosActive)
+        HookScope.emplace(Chaos);
       StartLine.arriveAndWait();
       for (std::uint64_t Op = 0; Op < Config.OpsPerThread; ++Op) {
         const bool IsPush = Rng.chance(Config.PushPercent, 100);
@@ -79,7 +100,18 @@ WorkloadReport runClosedLoop(AdapterT &Adapter, const WorkloadConfig &Config) {
             static_cast<std::uint32_t>(Rng.below(1u << 31));
         const auto Begin = std::chrono::steady_clock::now();
         std::uint64_t Retries = 0;
-        const OpOutcome Outcome = Adapter.apply(Tid, IsPush, Value, Retries);
+        OpOutcome Outcome;
+        Dog.arm(Tid);
+        try {
+          Outcome = Adapter.apply(Tid, IsPush, Value, Retries);
+        } catch (const ProcessCrash &) {
+          // Crash-stop: the thread is gone mid-operation. Keep partial
+          // tallies; survivors' progress is what liveness tests assert.
+          Dog.disarm(Tid);
+          Mine.Crashed = true;
+          break;
+        }
+        Dog.disarm(Tid);
         const auto End = std::chrono::steady_clock::now();
         Mine.Latency.record(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(End - Begin)
@@ -112,6 +144,8 @@ WorkloadReport runClosedLoop(AdapterT &Adapter, const WorkloadConfig &Config) {
   for (std::thread &Worker : Workers)
     Worker.join();
   const auto RunEnd = std::chrono::steady_clock::now();
+  Dog.stop();
+  Report.StuckOps = Dog.stuckCount();
   Report.DurationSec =
       std::chrono::duration_cast<std::chrono::duration<double>>(RunEnd -
                                                                 RunBegin)

@@ -18,6 +18,14 @@ std::uint64_t WorkloadReport::totalOps() const {
   return Total;
 }
 
+std::uint32_t WorkloadReport::crashedThreads() const {
+  std::uint32_t Count = 0;
+  for (const ThreadReport &R : PerThread)
+    if (R.Crashed)
+      ++Count;
+  return Count;
+}
+
 std::uint64_t WorkloadReport::totalAborts() const {
   std::uint64_t Total = 0;
   for (const ThreadReport &R : PerThread)

@@ -21,6 +21,7 @@
 #ifndef CSOBJ_RUNTIME_WORKLOAD_H
 #define CSOBJ_RUNTIME_WORKLOAD_H
 
+#include "faults/FaultPlan.h"
 #include "runtime/Stats.h"
 
 #include <cstdint>
@@ -49,6 +50,27 @@ struct WorkloadConfig {
   /// access — asynchrony injection for single-core hosts (see
   /// memory/ChaosHook.h). 0 disables the hook entirely.
   std::uint32_t ChaosYieldPermille = 0;
+  /// Probability (per mille) of *stalling* before a shared access until
+  /// ChaosStallGrants foreign accesses have been granted — the
+  /// lease-expiry scenario (see memory/ChaosHook.h). 0 disables stalls.
+  std::uint32_t ChaosStallPermille = 0;
+  /// Length of an injected stall, in foreign access grants.
+  std::uint64_t ChaosStallGrants = 0;
+  /// Which thread the stall channel targets; ~0 = all threads. Stalling
+  /// a single victim models the paper-relevant scenario (one process
+  /// preempted past the others' patience): when every thread may stall,
+  /// mutually stalled threads stop the shared access clock and release
+  /// each other early, so long stalls never actually expire a lease.
+  std::uint32_t ChaosStallTid = ~std::uint32_t{0};
+  /// Deterministic faults to inject (crash-stop / bounded stall at named
+  /// access points, see faults/FaultPlan.h). A crashed thread stops
+  /// issuing operations; its partial tallies are kept and its Crashed
+  /// flag set. Empty = no faults.
+  FaultPlan Faults;
+  /// Per-operation liveness deadline in nanoseconds, enforced by
+  /// runtime/Watchdog.h; operations overstaying it are reported in
+  /// WorkloadReport::StuckOps. 0 disables the watchdog.
+  std::uint64_t OpDeadlineNs = 0;
 };
 
 /// Per-thread tallies produced by the driver.
@@ -59,6 +81,7 @@ struct ThreadReport {
   std::uint64_t Empties = 0;  ///< Empty answers.
   std::uint64_t Aborts = 0;   ///< Bottom answers that reached the caller.
   std::uint64_t Retries = 0;  ///< Internal retries reported by the object.
+  bool Crashed = false;       ///< Thread hit a planned crash-stop fault.
   LatencyHistogram Latency;   ///< Per-operation completion latency.
 
   std::uint64_t completedOps() const {
@@ -70,8 +93,13 @@ struct ThreadReport {
 struct WorkloadReport {
   std::vector<ThreadReport> PerThread;
   double DurationSec = 0;
+  /// Operations the watchdog caught over their deadline (0 when the
+  /// watchdog was disabled — absence of evidence, not liveness).
+  std::uint64_t StuckOps = 0;
 
   std::uint64_t totalOps() const;
+  /// Threads retired by a planned crash-stop fault.
+  std::uint32_t crashedThreads() const;
   std::uint64_t totalAborts() const;
   std::uint64_t totalRetries() const;
   double throughputOpsPerSec() const;
