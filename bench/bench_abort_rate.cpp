@@ -21,6 +21,7 @@
 #include "BenchCommon.h"
 #include "JsonReporter.h"
 
+#include "conformance/Params.h"
 #include "runtime/TablePrinter.h"
 
 #include <iostream>
@@ -64,8 +65,8 @@ int main() {
     const std::uint32_t Threads = quickMode() ? 2 : 4;
     for (const std::uint32_t Chaos : {0u, 10u, 50u, 100u, 300u}) {
       const WorkloadReport R = runCell<WeakStackAdapter>(
-          Threads, /*ThinkNs=*/0, /*PushPercent=*/50, /*Capacity=*/4096,
-          Chaos);
+          Threads, /*ThinkNs=*/0, /*PushPercent=*/50,
+          /*Capacity=*/conformance::BenchCapacity, Chaos);
       Table.addRow({std::to_string(Chaos),
                     std::to_string(R.totalAborts()),
                     formatDouble(R.abortRate() * 100, 3) + "%"});

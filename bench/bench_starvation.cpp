@@ -33,6 +33,7 @@
 #include "BenchCommon.h"
 #include "JsonReporter.h"
 
+#include "conformance/Params.h"
 #include "runtime/TablePrinter.h"
 
 #include <atomic>
@@ -101,7 +102,8 @@ void addOutageRow(csobj::TablePrinter &Table,
   if (const auto Env = chaosFromEnv())
     Chaos = *Env;
   // One extra slot for the saboteur, which never runs operations.
-  CrashTolerantStackAdapter Adapter(Threads + 1, 4096, BenchPatience);
+  CrashTolerantStackAdapter Adapter(Threads + 1, conformance::BenchCapacity,
+                                    BenchPatience);
   const std::uint32_t SaboteurTid = Threads;
   std::atomic<bool> Stop{false};
   std::uint64_t Outages = 0;

@@ -19,9 +19,17 @@
 ///  * REAR  = <index, value, seqnb>: the last enqueued position, lazy
 ///    exactly like the stack's TOP — the value is written into
 ///    ITEMS[index] by the *next* operation's help.
-///  * FRONT = <index, seqnb>: the position *before* the oldest element
-///    (the queue's dummy); its seqnb is a pure ABA tag.
-///  * ITEMS[0..Capacity]: <val, sn> pairs as in the stack.
+///  * FRONT = <index, cycle>: the position *before* the oldest element
+///    (the queue's dummy). The tag counts completed ring cycles (it
+///    increments only when INDEX wraps to 0), which both serves as the
+///    ABA tag for the FRONT C&S and lets a dequeue compute the exact
+///    generation number its target slot must carry (see below).
+///  * ITEMS[0..Capacity]: <val, sn> pairs as in the stack. A slot's sn
+///    counts how many times the slot has been occupied: enqueues derive
+///    each new REAR seqnb from the slot's previous sn + 1, so every slot
+///    carries sn = o during its o-th occupancy. Slot 0 starts at sn = -1
+///    so that absorbing the help of the initial dummy REAR <0, bot, 0>
+///    lands it on sn = 0, the same footing as the other slots.
 ///
 /// Full/empty answers need care that the single-register stack does not:
 /// REAR and FRONT cannot be read in one atomic snapshot. Where the paper
@@ -29,6 +37,22 @@
 /// implementation re-validates both registers and *aborts when
 /// uncertain* — which abortable semantics explicitly permit (a solo
 /// operation never takes these abort paths, as the tests verify).
+///
+/// The value read also needs certifying. Slot contents are governed by
+/// REAR (helped lazily), not FRONT, so a dequeue delayed between its
+/// REAR read and its FRONT C&S can observe ITEMS[next(FRONT)] holding
+/// the *previous* generation's value — the current occupant's value
+/// still unhelped inside REAR — and the FRONT C&S alone would publish
+/// that stale value a second time. The cycle tag in FRONT closes the
+/// hole for free: the dequeuer knows the exact sn its slot must carry,
+/// and on a mismatch the only legal cause (while FRONT is unmoved,
+/// which the C&S certifies) is that the current REAR is the unhelped
+/// enqueue of that very slot. It re-reads REAR, demands exactly that
+/// <index, seqnb>, helps it, and completes with REAR's value; any other
+/// disagreement aborts. Solo cost stays at six accesses — the detour
+/// (three extra accesses, still bounded) is taken only under
+/// concurrency, and a dequeue never aborts merely because REAR advanced,
+/// preserving the paper's enqueue/dequeue non-interference.
 ///
 /// Memory orderings (audited for the Fast register policy; identical
 /// under Instrumented): ITEMS reads are acquire and every C&S is acq_rel,
@@ -126,13 +150,31 @@ public:
         return PopResult<Value>::abort();
       return PopResult<Value>::empty();
     }
+    const std::uint32_t OldestIdx = next(FrontIdx);
     const SlotFields<Value> Oldest = SlotC::unpack(
-        Items[next(FrontIdx)].read(std::memory_order_acquire));
+        Items[OldestIdx].read(std::memory_order_acquire));
+    // Generation certificate (see file comment): with c completed ring
+    // cycles recorded in FRONT, the oldest slot is in occupancy c + 1
+    // and must carry exactly that sn.
+    const std::uint32_t Cycle = frontCycle(FrontW);
+    const std::uint32_t Expected = TopC::seqAdd(Cycle, +1);
+    Value Out = Oldest.Value;
+    if (Oldest.Seq != Expected) {
+      // Stale slot. The only legal cause while FRONT is unmoved (which
+      // the C&S below certifies) is that the current REAR is the
+      // still-unhelped enqueue of this very slot: demand exactly that,
+      // help it, and take the value from REAR itself.
+      const TopFields<Value> R2 = TopC::unpack(Rear.read());
+      if (R2.Index != OldestIdx || R2.Seq != Expected)
+        return PopResult<Value>::abort();
+      helpRear(R2);
+      Out = R2.Value;
+    }
     const SlotWord NewFront = SlotC::pack(
-        {static_cast<Value>(next(FrontIdx)),
-         TopC::seqAdd(frontSeq(FrontW), +1)});
+        {static_cast<Value>(OldestIdx),
+         OldestIdx == 0 ? TopC::seqAdd(Cycle, +1) : Cycle});
     if (Front.compareAndSwap(FrontW, NewFront, std::memory_order_acq_rel))
-      return PopResult<Value>::value(Oldest.Value);
+      return PopResult<Value>::value(Out);
     return PopResult<Value>::abort();
   }
 
@@ -156,7 +198,10 @@ private:
   static std::uint32_t frontIndex(SlotWord W) {
     return static_cast<std::uint32_t>(SlotC::unpack(W).Value);
   }
-  static std::uint32_t frontSeq(SlotWord W) { return SlotC::unpack(W).Seq; }
+  /// FRONT's tag: completed ring cycles (increments on index wrap).
+  static std::uint32_t frontCycle(SlotWord W) {
+    return SlotC::unpack(W).Seq;
+  }
 
   /// Completes the lazy ITEMS write of the last enqueue recorded in REAR
   /// (identical to the stack's help, lines 15-16 of Figure 1).

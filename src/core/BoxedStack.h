@@ -35,21 +35,27 @@ template <typename T, typename Lock = TasLock>
 class BoxedStack {
 public:
   /// \p NumThreads is the paper's n; \p Capacity the element bound.
+  ///
+  /// The pool carries NumThreads headroom slots beyond Capacity: at any
+  /// instant each thread owns at most one in-transit slot (acquired but
+  /// not yet pushed, or popped but not yet released), so acquisition can
+  /// never fail and the full answer comes solely from the index stack —
+  /// whose Full is linearizable. Sizing the pool at Capacity alone would
+  /// let a pop's unreleased slot starve a concurrent push into reporting
+  /// full while the abstract stack has room.
   BoxedStack(std::uint32_t NumThreads, std::uint32_t Capacity)
-      : Pool(Capacity), Slots(new T[Capacity]),
-        Indices(NumThreads, Capacity) {}
+      : K(Capacity), Pool(Capacity + NumThreads),
+        Slots(new T[Capacity + NumThreads]), Indices(NumThreads, Capacity) {}
 
   /// Pushes \p V. Returns false when the stack is full.
   bool push(std::uint32_t Tid, T V) {
     const std::optional<std::uint32_t> Idx = Pool.tryAcquire();
-    if (!Idx)
-      return false;
+    assert(Idx && "in-transit headroom guarantees a free slot");
     Slots[*Idx] = std::move(V);
-    const PushResult Res = Indices.push(Tid, *Idx);
-    // The index stack has exactly pool-many slots of capacity, so a slot
-    // we own always fits.
-    assert(Res == PushResult::Done && "index stack cannot be full here");
-    (void)Res;
+    if (Indices.push(Tid, *Idx) == PushResult::Full) {
+      Pool.release(*Idx);
+      return false;
+    }
     return true;
   }
 
@@ -64,10 +70,11 @@ public:
     return Out;
   }
 
-  std::uint32_t capacity() const { return Pool.size(); }
+  std::uint32_t capacity() const { return K; }
   std::uint32_t sizeForTesting() const { return Indices.sizeForTesting(); }
 
 private:
+  const std::uint32_t K;
   IndexPool Pool;
   std::unique_ptr<T[]> Slots;
   ContentionSensitiveStack<Compact64, Lock> Indices;

@@ -1,0 +1,94 @@
+//===- core/CrashTolerantQueue.h - Degradable Figure 3 queue ----*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FIFO companion of core/CrashTolerantStack.h: the abortable bounded
+/// queue (core/AbortableQueue.h) strengthened through the crash-tolerant
+/// skeleton (core/CrashTolerant.h). Linearizable and contention-sensitive
+/// like ContentionSensitiveQueue — an uncontended enqueue keeps the
+/// seven-access bound (one CONTENTION read plus the weak attempt) — but a
+/// process crashing while competing for or holding the slow-path lock no
+/// longer wedges the object: survivors revoke the stale lease within
+/// their patience budget and complete through the Figure 2 retry loop,
+/// degrading starvation-freedom to lock-freedom instead of losing
+/// progress altogether.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_CRASHTOLERANTQUEUE_H
+#define CSOBJ_CORE_CRASHTOLERANTQUEUE_H
+
+#include "core/AbortableQueue.h"
+#include "core/CrashTolerant.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace csobj {
+
+/// Crash-tolerant contention-sensitive bounded FIFO queue.
+///
+/// \tparam Config  codec family (Compact64 / Wide128).
+/// \tparam Manager ContentionManager pacing protected and degraded
+///         retries.
+/// \tparam Policy  register policy (Instrumented / Fast).
+template <typename Config = Compact64, ContentionManager Manager = NoBackoff,
+          typename Policy = DefaultRegisterPolicy>
+class CrashTolerantQueue {
+public:
+  using Value = typename Config::Value;
+  using Skeleton = CrashTolerantContentionSensitive<Manager, Policy>;
+  using RegisterPolicy = Policy;
+  static constexpr Value Bottom = AbortableQueue<Config, Policy>::Bottom;
+
+  /// \p NumThreads is the paper's n (ids 0..n-1); \p Capacity is k;
+  /// \p Patience bounds slow-path waiting (see CrashTolerant.h).
+  CrashTolerantQueue(std::uint32_t NumThreads, std::uint32_t Capacity,
+                     std::uint32_t Patience = Skeleton::DefaultPatience)
+      : Weak(Capacity), Strong(NumThreads, Patience) {}
+
+  /// strong_enqueue(v): Done or Full, never Abort; terminates even when
+  /// other processes crash mid-operation.
+  PushResult enqueue(std::uint32_t Tid, Value V) {
+    return Strong.strongApply(Tid, [this, V]() -> std::optional<PushResult> {
+      const PushResult Res = Weak.weakEnqueue(V);
+      if (Res == PushResult::Abort)
+        return std::nullopt; // res = bottom
+      return Res;
+    });
+  }
+
+  /// strong_dequeue(): the oldest value or Empty, never Abort;
+  /// terminates even when other processes crash mid-operation.
+  PopResult<Value> dequeue(std::uint32_t Tid) {
+    return Strong.strongApply(
+        Tid, [this]() -> std::optional<PopResult<Value>> {
+          const PopResult<Value> Res = Weak.weakDequeue();
+          if (Res.isAbort())
+            return std::nullopt; // res = bottom
+          return Res;
+        });
+  }
+
+  std::uint32_t capacity() const { return Weak.capacity(); }
+  std::uint32_t numThreads() const { return Strong.numThreads(); }
+  std::uint32_t sizeForTesting() const { return Weak.sizeForTesting(); }
+
+  /// The underlying Figure 1 object (test/debug aid).
+  AbortableQueue<Config, Policy> &abortable() { return Weak; }
+
+  /// The crash-tolerant skeleton (test/debug/stats aid).
+  Skeleton &skeleton() { return Strong; }
+  const Skeleton &skeleton() const { return Strong; }
+
+private:
+  AbortableQueue<Config, Policy> Weak;
+  Skeleton Strong;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_CRASHTOLERANTQUEUE_H

@@ -56,6 +56,22 @@ private:
   std::uint32_t Tid;
 };
 
+/// Tag selecting the crash-recoverable StarvationFreeLock variant
+/// (locks/StarvationFreeLock.h): the Section 4.4 doorway rebuilt from
+/// RecoverableArbiter over a LeasedLock, sharing one SuspectSet, so any
+/// lock-based object can run under fault plans. \p PatienceV bounds, in
+/// consecutive observations of an unchanged doorway turn or lock lease,
+/// how long an acquisition round waits before suspecting the blocker;
+/// 0 selects the LeasedLock default (wall-clock safe). Small values are
+/// for explorer and fault-injection tests, where patience is logical.
+template <std::uint32_t PatienceV = 0>
+struct LeasableTag {
+  static constexpr std::uint32_t Patience = PatienceV;
+};
+
+/// Default-patience tag: StarvationFreeLock<Leasable>.
+using Leasable = LeasableTag<>;
+
 /// Adapter giving std::mutex the csobj lock shape, so the OS-provided
 /// lock can appear in the same benchmark tables as the literature locks.
 class StdMutexLock {

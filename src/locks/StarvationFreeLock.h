@@ -25,6 +25,8 @@
 #ifndef CSOBJ_LOCKS_STARVATIONFREELOCK_H
 #define CSOBJ_LOCKS_STARVATIONFREELOCK_H
 
+#include "locks/LockTraits.h"
+#include "locks/RecoverableArbiter.h"
 #include "locks/RoundRobinArbiter.h"
 
 #include <cstdint>
@@ -59,6 +61,82 @@ public:
 private:
   RoundRobinArbiter Arbiter;
   InnerLock Inner;
+};
+
+/// Crash-recoverable starvation-free lock: the Section 4.4 transform
+/// rebuilt from the crash-tolerant parts, selected by the Leasable tag
+/// (locks/LockTraits.h). The RoundRobinArbiter doorway is replaced by
+/// RecoverableArbiter (TURN skips suspected corpses) and the inner
+/// deadlock-free lock by LeasedLock (a stale lease is revoked after the
+/// patience budget), both feeding one SuspectSet. The result keeps the
+/// LockConcept shape, so LockedStack, LockedQueue and every Figure 3
+/// instantiation can run under FaultPlan crash/stall schedules: a corpse
+/// in the doorway or holding the lease delays survivors by at most their
+/// patience, never forever.
+///
+/// With no faults the behaviour matches the primary template:
+/// starvation-free among live, unsuspected processes (false suspicion of
+/// a live holder costs fairness — a lost lease — never safety here,
+/// because the revoking waiter reports TimedOut and re-rounds rather
+/// than entering).
+template <std::uint32_t PatienceV>
+class StarvationFreeLock<LeasableTag<PatienceV>> {
+public:
+  static constexpr const char *Name = "starvation-free(leased)";
+
+  /// Patience per bounded round, in logical observations; the tag value
+  /// 0 defers to the lock's wall-clock-safe default.
+  static constexpr std::uint32_t DefaultPatience =
+      PatienceV == 0 ? LeasedLock::DefaultPatience : PatienceV;
+
+  explicit StarvationFreeLock(std::uint32_t NumThreads)
+      : Suspects(NumThreads), Arbiter(NumThreads, Suspects),
+        Inner(NumThreads, &Suspects) {}
+
+  /// One bounded acquisition round: doorway entry (lines 04-05) then the
+  /// lease (line 06), each bounded by \p Patience. TimedOut means the
+  /// caller must not enter — its flag has been withdrawn, and when the
+  /// blocker was suspected its stale lease/turn has been revoked/skipped
+  /// so a later round finds the lock healed.
+  LeaseAcquire lockBounded(std::uint32_t Tid,
+                           std::uint32_t Patience = DefaultPatience) {
+    if (!Arbiter.enterBounded(Tid, Patience))
+      return LeaseAcquire::TimedOut;
+    if (Inner.lockBounded(Tid, Patience) != LeaseAcquire::Acquired) {
+      Arbiter.withdraw(Tid);
+      return LeaseAcquire::TimedOut;
+    }
+    return LeaseAcquire::Acquired;
+  }
+
+  /// LockConcept-shaped acquisition: bounded rounds retried until one
+  /// succeeds. Unlike the primary template this terminates even when the
+  /// current holder crashed: the round that exhausts its patience
+  /// suspects the corpse and revokes its lease, and a following round
+  /// acquires the freed lock.
+  void lock(std::uint32_t Tid) {
+    while (lockBounded(Tid) != LeaseAcquire::Acquired) {
+    }
+  }
+
+  void unlock(std::uint32_t Tid) {
+    Arbiter.exitAndAdvance(Tid); // lines 10-11
+    Inner.unlock(Tid);           // line 12
+  }
+
+  /// The leased inner lock (revocation/lost-lease counters live here).
+  LeasedLock &inner() { return Inner; }
+
+  /// The recoverable doorway (exposed for the fairness tests).
+  RecoverableArbiter &arbiter() { return Arbiter; }
+
+  /// The failure detector shared by doorway and lock.
+  SuspectSet &suspects() { return Suspects; }
+
+private:
+  SuspectSet Suspects;
+  RecoverableArbiter Arbiter;
+  LeasedLock Inner;
 };
 
 } // namespace csobj

@@ -1,0 +1,1502 @@
+//===- tests/conformance/Battery.h - Spec-driven conformance cells -*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conformance battery: every concurrent object in src/core runs
+/// through one shared matrix of checks instead of hand-written per-object
+/// suites. An object joins the battery by providing a small adapter
+/// (make / push / pop / makeSpec) and registering a BatteryEntry; the six
+/// cells below are generic over the adapter:
+///
+///   SpecReplay     solo op sequence crossing Full/Empty edges, every
+///                  result validated against the sequential spec
+///   LincheckStress randomized multi-thread rounds, each round checked
+///                  for linearizability (Wing & Gong)
+///   Explore        schedule-space search (exhaustive DFS where the
+///                  schedule tree is bounded, random walks otherwise)
+///   Chaos          the stress shape under ChaosHook yield/stall noise
+///   CrashOrStall   a wall-clock stall-plan round for every entry, plus
+///                  mode-specific crash sweeps (lock-free objects, the
+///                  crash-tolerant skeleton, the leasable lock)
+///   AccessBound    solo shared-access counts (exact for the paper's
+///                  documented fast paths, upper bounds elsewhere)
+///
+/// Crash modes: RAII-locked baselines must never be crash-swept — the
+/// SimulatedCrash unwind releases their ScopedLock, and a kill landing in
+/// the noexcept unlock would terminate — so lock-based entries get stall
+/// plans only, and leasable-lock crash coverage runs as a dedicated
+/// non-RAII sweep (leasableLockCrashSweep). TimestampBoost's slow path
+/// defers forever to a crashed announced process, so boosted entries are
+/// stall-only too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_TESTS_CONFORMANCE_BATTERY_H
+#define CSOBJ_TESTS_CONFORMANCE_BATTERY_H
+
+#include "conformance/Params.h"
+
+#include "baselines/LockedQueue.h"
+#include "baselines/LockedStack.h"
+#include "core/AbortableQueue.h"
+#include "core/AbortableStack.h"
+#include "core/BoxedStack.h"
+#include "core/ContentionSensitiveCounter.h"
+#include "core/ContentionSensitiveDeque.h"
+#include "core/ContentionSensitiveQueue.h"
+#include "core/ContentionSensitiveStack.h"
+#include "core/CrashTolerant.h"
+#include "core/CrashTolerantDeque.h"
+#include "core/CrashTolerantQueue.h"
+#include "core/CrashTolerantStack.h"
+#include "core/NonBlockingQueue.h"
+#include "core/NonBlockingStack.h"
+#include "core/ObstructionFreeDeque.h"
+#include "core/Results.h"
+#include "core/TimestampBoost.h"
+#include "core/WaitFreeUniversal.h"
+#include "faults/FaultInjector.h"
+#include "faults/FaultPlan.h"
+#include "lincheck/Checker.h"
+#include "lincheck/History.h"
+#include "lincheck/Spec.h"
+#include "locks/LockTraits.h"
+#include "locks/StarvationFreeLock.h"
+#include "locks/TasLock.h"
+#include "memory/AccessCounter.h"
+#include "memory/AtomicRegister.h"
+#include "memory/ChaosHook.h"
+#include "memory/SchedHook.h"
+#include "runtime/SpinBarrier.h"
+#include "sched/Explorer.h"
+#include "sched/InterleaveScheduler.h"
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace csobj {
+namespace conformance {
+
+//===----------------------------------------------------------------------===
+// Shared helpers
+//===----------------------------------------------------------------------===
+
+/// Runs \p Body under the scheduler, crashing it at its (K+1)-th shared
+/// access. Returns the number of decision points, so callers discover an
+/// operation's access count by passing a huge K (same contract as the
+/// helper in tests/crash_test.cpp).
+inline std::size_t runAndCrashAt(std::function<void()> Body,
+                                 std::uint32_t K) {
+  InterleaveScheduler Scheduler(1);
+  const auto Trace = Scheduler.run(
+      {std::move(Body)},
+      [K](std::size_t Step, const std::vector<std::uint32_t> &Parked)
+          -> std::uint32_t {
+        if (Step == K)
+          return Parked.front() | InterleaveScheduler::KillFlag;
+        return Parked.front();
+      });
+  return Trace.Decisions.size();
+}
+
+inline std::uint32_t randomValue(SplitMix64 &Rng) {
+  return static_cast<std::uint32_t>(Rng.below(1u << 16)) + 1;
+}
+
+/// Which asynchrony source a stress round runs under.
+enum class AsyncMode { None, Chaos, StallPlan };
+
+//===----------------------------------------------------------------------===
+// Push/pop family adapters
+//===----------------------------------------------------------------------===
+// Contract: using Object; static constexpr bool Strong (ops never abort);
+// make(Threads, Capacity); push(Object&, Tid, V) -> PushResult;
+// pop(Object&, Tid) -> PopResult<uint32_t>; makeSpec() over SmallCapacity.
+
+struct AbortableStackAdapter {
+  using Object = AbortableStack<>;
+  static constexpr bool Strong = false;
+  static std::unique_ptr<Object> make(std::uint32_t /*Threads*/,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t /*Tid*/, std::uint32_t V) {
+    return O.weakPush(V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t /*Tid*/) {
+    return O.weakPop();
+  }
+  static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
+};
+
+struct NonBlockingStackAdapter {
+  using Object = NonBlockingStack<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t /*Threads*/,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t /*Tid*/, std::uint32_t V) {
+    return O.push(V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t /*Tid*/) {
+    return O.pop();
+  }
+  static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
+};
+
+struct CsStackAdapter {
+  using Object = ContentionSensitiveStack<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.push(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.pop(Tid);
+  }
+  static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
+};
+
+struct CtStackAdapter {
+  using Object = CrashTolerantStack<>;
+  using Skeleton = Object::Skeleton;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    // Small patience everywhere: false revocation is linearizable for
+    // crash-tolerant objects (linearization points live in the weak
+    // C&S), and it buys degraded-path coverage in every cell.
+    return std::make_unique<Object>(Threads, Capacity, SmallPatience);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.push(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.pop(Tid);
+  }
+  static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
+
+  // Crash-sweep extras.
+  static std::unique_ptr<Object> makeForSweep() {
+    return std::make_unique<Object>(2, SmallCapacity, SmallPatience);
+  }
+  static Skeleton &skeleton(Object &O) { return O.skeleton(); }
+  static auto forcedSlow(Object &O, std::uint32_t V) {
+    return [&O, V, Attempts = 0]() mutable -> std::optional<PushResult> {
+      if (Attempts++ == 0)
+        return std::nullopt;
+      const PushResult R = O.abortable().weakPush(V);
+      if (R == PushResult::Abort)
+        return std::nullopt;
+      return R;
+    };
+  }
+  static std::uint32_t drainCount(Object &O) {
+    std::uint32_t Seen = 0;
+    while (O.abortable().weakPop().isValue())
+      ++Seen;
+    return Seen;
+  }
+};
+
+struct BoxedStackAdapter {
+  using Object = BoxedStack<std::uint32_t>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.push(Tid, V) ? PushResult::Done : PushResult::Full;
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    const std::optional<std::uint32_t> R = O.pop(Tid);
+    return R ? PopResult<std::uint32_t>::value(*R)
+             : PopResult<std::uint32_t>::empty();
+  }
+  static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
+};
+
+struct BoostedStackAdapter {
+  using Object = BoostedStack<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.push(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.pop(Tid);
+  }
+  static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
+};
+
+struct WaitFreeStackAdapter {
+  using Object = WaitFreeStack<SmallCapacity, 8>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    EXPECT_EQ(Capacity, SmallCapacity) << "compile-time capacity";
+    return std::make_unique<Object>(Threads);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.push(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.pop(Tid);
+  }
+  static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
+};
+
+template <typename Lock> struct LockedStackAdapter {
+  using Object = LockedStack<Lock>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.push(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.pop(Tid);
+  }
+  static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
+};
+
+struct AbortableQueueAdapter {
+  using Object = AbortableQueue<>;
+  static constexpr bool Strong = false;
+  static std::unique_ptr<Object> make(std::uint32_t /*Threads*/,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t /*Tid*/, std::uint32_t V) {
+    return O.weakEnqueue(V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t /*Tid*/) {
+    return O.weakDequeue();
+  }
+  static BoundedQueueSpec makeSpec() { return BoundedQueueSpec(SmallCapacity); }
+};
+
+struct NonBlockingQueueAdapter {
+  using Object = NonBlockingQueue<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t /*Threads*/,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t /*Tid*/, std::uint32_t V) {
+    return O.enqueue(V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t /*Tid*/) {
+    return O.dequeue();
+  }
+  static BoundedQueueSpec makeSpec() { return BoundedQueueSpec(SmallCapacity); }
+};
+
+struct CsQueueAdapter {
+  using Object = ContentionSensitiveQueue<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.enqueue(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.dequeue(Tid);
+  }
+  static BoundedQueueSpec makeSpec() { return BoundedQueueSpec(SmallCapacity); }
+};
+
+struct CtQueueAdapter {
+  using Object = CrashTolerantQueue<>;
+  using Skeleton = Object::Skeleton;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity, SmallPatience);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.enqueue(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.dequeue(Tid);
+  }
+  static BoundedQueueSpec makeSpec() { return BoundedQueueSpec(SmallCapacity); }
+
+  static std::unique_ptr<Object> makeForSweep() {
+    return std::make_unique<Object>(2, SmallCapacity, SmallPatience);
+  }
+  static Skeleton &skeleton(Object &O) { return O.skeleton(); }
+  static auto forcedSlow(Object &O, std::uint32_t V) {
+    return [&O, V, Attempts = 0]() mutable -> std::optional<PushResult> {
+      if (Attempts++ == 0)
+        return std::nullopt;
+      const PushResult R = O.abortable().weakEnqueue(V);
+      if (R == PushResult::Abort)
+        return std::nullopt;
+      return R;
+    };
+  }
+  static std::uint32_t drainCount(Object &O) {
+    std::uint32_t Seen = 0;
+    while (O.abortable().weakDequeue().isValue())
+      ++Seen;
+    return Seen;
+  }
+};
+
+template <typename Lock> struct LockedQueueAdapter {
+  using Object = LockedQueue<Lock>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.enqueue(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.dequeue(Tid);
+  }
+  static BoundedQueueSpec makeSpec() { return BoundedQueueSpec(SmallCapacity); }
+};
+
+//===----------------------------------------------------------------------===
+// Deque family adapters
+//===----------------------------------------------------------------------===
+// Contract: push(Object&, Tid, Left, V); pop(Object&, Tid, Left); both
+// ends recorded as PushLeft/PushRight/PopLeft/PopRight over the
+// positional LinearDequeSpec (SmallCapacity with SmallLeftSlots).
+
+struct OfDequeAdapter {
+  using Object = ObstructionFreeDeque;
+  static constexpr bool Strong = false;
+  static std::unique_ptr<Object> make(std::uint32_t /*Threads*/) {
+    return std::make_unique<Object>(SmallCapacity, SmallLeftSlots);
+  }
+  static PushResult push(Object &O, std::uint32_t /*Tid*/, bool Left,
+                         std::uint32_t V) {
+    return Left ? O.tryPushLeft(V) : O.tryPushRight(V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t /*Tid*/,
+                                      bool Left) {
+    return Left ? O.tryPopLeft() : O.tryPopRight();
+  }
+  static LinearDequeSpec makeSpec() {
+    return LinearDequeSpec(SmallCapacity, SmallLeftSlots);
+  }
+};
+
+struct CsDequeAdapter {
+  using Object = ContentionSensitiveDeque<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads) {
+    return std::make_unique<Object>(Threads, SmallCapacity, SmallLeftSlots);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, bool Left,
+                         std::uint32_t V) {
+    return Left ? O.pushLeft(Tid, V) : O.pushRight(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid,
+                                      bool Left) {
+    return Left ? O.popLeft(Tid) : O.popRight(Tid);
+  }
+  static LinearDequeSpec makeSpec() {
+    return LinearDequeSpec(SmallCapacity, SmallLeftSlots);
+  }
+};
+
+struct CtDequeAdapter {
+  using Object = CrashTolerantDeque<>;
+  using Skeleton = Object::Skeleton;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads) {
+    return std::make_unique<Object>(Threads, SmallCapacity, SmallLeftSlots,
+                                    SmallPatience);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, bool Left,
+                         std::uint32_t V) {
+    return Left ? O.pushLeft(Tid, V) : O.pushRight(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid,
+                                      bool Left) {
+    return Left ? O.popLeft(Tid) : O.popRight(Tid);
+  }
+  static LinearDequeSpec makeSpec() {
+    return LinearDequeSpec(SmallCapacity, SmallLeftSlots);
+  }
+
+  // Crash-sweep extras: all slots on the right so the survivor's two
+  // healing pushes always fit regardless of whether the corpse's landed.
+  static std::unique_ptr<Object> makeForSweep() {
+    return std::make_unique<Object>(2, SmallCapacity, /*InitialLeftSlots=*/0,
+                                    SmallPatience);
+  }
+  static Skeleton &skeleton(Object &O) { return O.skeleton(); }
+  static auto forcedSlow(Object &O, std::uint32_t V) {
+    return [&O, V, Attempts = 0]() mutable -> std::optional<PushResult> {
+      if (Attempts++ == 0)
+        return std::nullopt;
+      const PushResult R = O.abortable().tryPushRight(V);
+      if (R == PushResult::Abort)
+        return std::nullopt;
+      return R;
+    };
+  }
+  static std::uint32_t drainCount(Object &O) {
+    std::uint32_t Seen = 0;
+    while (O.abortable().tryPopRight().isValue())
+      ++Seen;
+    return Seen;
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Cell: SpecReplay (solo, every result validated against the spec)
+//===----------------------------------------------------------------------===
+
+template <typename A> void specReplayCell() {
+  auto Obj = A::make(StressThreads, SmallCapacity);
+  auto Spec = A::makeSpec();
+  std::uint64_t Clock = 0;
+
+  auto DoPush = [&](std::uint32_t V) {
+    const PushResult R = A::push(*Obj, 0, V);
+    ASSERT_NE(R, PushResult::Abort) << "solo push aborted";
+    Operation Op;
+    Op.Tid = 0;
+    Op.Code = OpCode::Push;
+    Op.Arg = V;
+    Op.Result = R == PushResult::Full ? ResCode::Full : ResCode::Done;
+    Op.InvokeNs = Clock++;
+    Op.ResponseNs = Clock++;
+    ASSERT_TRUE(Spec.apply(Op))
+        << "push(" << V << ") disagrees with the sequential spec";
+  };
+  auto DoPop = [&] {
+    const PopResult<std::uint32_t> R = A::pop(*Obj, 0);
+    ASSERT_FALSE(R.isAbort()) << "solo pop aborted";
+    Operation Op;
+    Op.Tid = 0;
+    Op.Code = OpCode::Pop;
+    if (R.isValue()) {
+      Op.Result = ResCode::Value;
+      Op.RetValue = R.value();
+    } else {
+      Op.Result = ResCode::Empty;
+    }
+    Op.InvokeNs = Clock++;
+    Op.ResponseNs = Clock++;
+    ASSERT_TRUE(Spec.apply(Op)) << "pop disagrees with the sequential spec";
+  };
+
+  // Cross the Full edge, then the Empty edge.
+  for (std::uint32_t V = 1; V <= SmallCapacity + 2; ++V)
+    DoPush(V);
+  for (std::uint32_t I = 0; I <= SmallCapacity + 2; ++I)
+    DoPop();
+  // Random solo mix, still spec-validated at every step.
+  SplitMix64 Rng(0xC0FFEEull);
+  for (std::uint32_t I = 0; I < 32; ++I) {
+    if (Rng.chance(1, 2))
+      DoPush(randomValue(Rng));
+    else
+      DoPop();
+  }
+}
+
+template <typename A> void dequeSpecReplayCell() {
+  auto Obj = A::make(StressThreads);
+  auto Spec = A::makeSpec();
+  std::uint64_t Clock = 0;
+
+  auto DoPush = [&](bool Left, std::uint32_t V) {
+    const PushResult R = A::push(*Obj, 0, Left, V);
+    ASSERT_NE(R, PushResult::Abort) << "solo push aborted";
+    Operation Op;
+    Op.Tid = 0;
+    Op.Code = Left ? OpCode::PushLeft : OpCode::PushRight;
+    Op.Arg = V;
+    Op.Result = R == PushResult::Full ? ResCode::Full : ResCode::Done;
+    Op.InvokeNs = Clock++;
+    Op.ResponseNs = Clock++;
+    ASSERT_TRUE(Spec.apply(Op))
+        << (Left ? "pushLeft(" : "pushRight(") << V
+        << ") disagrees with the sequential spec";
+  };
+  auto DoPop = [&](bool Left) {
+    const PopResult<std::uint32_t> R = A::pop(*Obj, 0, Left);
+    ASSERT_FALSE(R.isAbort()) << "solo pop aborted";
+    Operation Op;
+    Op.Tid = 0;
+    Op.Code = Left ? OpCode::PopLeft : OpCode::PopRight;
+    if (R.isValue()) {
+      Op.Result = ResCode::Value;
+      Op.RetValue = R.value();
+    } else {
+      Op.Result = ResCode::Empty;
+    }
+    Op.InvokeNs = Clock++;
+    Op.ResponseNs = Clock++;
+    ASSERT_TRUE(Spec.apply(Op))
+        << (Left ? "popLeft" : "popRight")
+        << " disagrees with the sequential spec";
+  };
+
+  // Exhaust both ends (positional Full), then drain past Empty.
+  for (std::uint32_t V = 1; V <= SmallLeftSlots + 1; ++V)
+    DoPush(/*Left=*/true, V);
+  for (std::uint32_t V = 10; V <= 10 + (SmallCapacity - SmallLeftSlots); ++V)
+    DoPush(/*Left=*/false, V);
+  for (std::uint32_t I = 0; I <= SmallCapacity + 1; ++I)
+    DoPop(/*Left=*/true);
+  // Random solo mix over both ends.
+  SplitMix64 Rng(0xDEC0DEull);
+  for (std::uint32_t I = 0; I < 32; ++I) {
+    const bool Left = Rng.chance(1, 2);
+    if (Rng.chance(1, 2))
+      DoPush(Left, randomValue(Rng));
+    else
+      DoPop(Left);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Cell: LincheckStress / Chaos / stall-plan round (one workhorse)
+//===----------------------------------------------------------------------===
+
+template <typename A> void stressRounds(AsyncMode Mode) {
+  const std::uint32_t Rounds =
+      Mode == AsyncMode::None ? StressRounds : ChaosRounds;
+  for (std::uint32_t Round = 0; Round < Rounds; ++Round) {
+    auto Obj = A::make(StressThreads, SmallCapacity);
+    std::vector<HistoryRecorder> Recorders;
+    for (std::uint32_t T = 0; T < StressThreads; ++T)
+      Recorders.emplace_back(T);
+    std::atomic<std::uint32_t> Aborts{0};
+    SpinBarrier Barrier(StressThreads);
+    FaultClock Clock;
+    const FaultPlan Plan =
+        FaultPlan::stallAt(0, StallPlanAtAccess, StallPlanGrants);
+
+    std::vector<std::thread> Threads;
+    for (std::uint32_t T = 0; T < StressThreads; ++T) {
+      Threads.emplace_back([&, T] {
+        HistoryRecorder &Rec = Recorders[T];
+        SplitMix64 Rng(0xBA77E59ull * (Round + 1) + T);
+        auto RunOps = [&] {
+          Barrier.arriveAndWait();
+          for (std::uint32_t I = 0; I < StressOpsPerThread; ++I) {
+            const bool IsPush = Rng.chance(1, 2);
+            const std::uint32_t V = randomValue(Rng);
+            const std::uint64_t T0 = HistoryRecorder::now();
+            if (IsPush) {
+              const PushResult R = A::push(*Obj, T, V);
+              const std::uint64_t T1 = HistoryRecorder::now();
+              if (R == PushResult::Abort)
+                Aborts.fetch_add(1, std::memory_order_relaxed);
+              else
+                Rec.recordPush(V, R == PushResult::Full, T0, T1);
+            } else {
+              const PopResult<std::uint32_t> R = A::pop(*Obj, T);
+              const std::uint64_t T1 = HistoryRecorder::now();
+              if (R.isAbort())
+                Aborts.fetch_add(1, std::memory_order_relaxed);
+              else if (R.isValue())
+                Rec.recordPopValue(R.value(), T0, T1);
+              else
+                Rec.recordPopEmpty(T0, T1);
+            }
+          }
+        };
+        if (Mode == AsyncMode::Chaos) {
+          ChaosHook Hook(0xC4A05ull * (Round + 1) + T, ChaosYieldPermille,
+                         ChaosStallPermille, ChaosStallGrants);
+          SchedHookScope Scope(Hook);
+          RunOps();
+        } else if (Mode == AsyncMode::StallPlan) {
+          FaultInjector Hook(Plan, T, Clock);
+          SchedHookScope Scope(Hook);
+          RunOps();
+        } else {
+          RunOps();
+        }
+      });
+    }
+    for (auto &Th : Threads)
+      Th.join();
+
+    if (A::Strong)
+      ASSERT_EQ(Aborts.load(), 0u)
+          << "strong object aborted in round " << Round;
+    const History H = mergeHistories(Recorders);
+    ASSERT_TRUE(H.wellFormed());
+    const CheckResult Result = checkLinearizable(H, A::makeSpec());
+    ASSERT_FALSE(Result.HitSearchCap);
+    ASSERT_TRUE(Result.Linearizable)
+        << "round " << Round << ": " << Result.FailureNote;
+  }
+}
+
+template <typename A> void dequeStressRounds(AsyncMode Mode) {
+  const std::uint32_t Rounds =
+      Mode == AsyncMode::None ? StressRounds : ChaosRounds;
+  for (std::uint32_t Round = 0; Round < Rounds; ++Round) {
+    auto Obj = A::make(StressThreads);
+    std::vector<HistoryRecorder> Recorders;
+    for (std::uint32_t T = 0; T < StressThreads; ++T)
+      Recorders.emplace_back(T);
+    std::atomic<std::uint32_t> Aborts{0};
+    SpinBarrier Barrier(StressThreads);
+    FaultClock Clock;
+    const FaultPlan Plan =
+        FaultPlan::stallAt(0, StallPlanAtAccess, StallPlanGrants);
+
+    std::vector<std::thread> Threads;
+    for (std::uint32_t T = 0; T < StressThreads; ++T) {
+      Threads.emplace_back([&, T] {
+        HistoryRecorder &Rec = Recorders[T];
+        SplitMix64 Rng(0xD0DECull * (Round + 1) + T);
+        auto RunOps = [&] {
+          Barrier.arriveAndWait();
+          for (std::uint32_t I = 0; I < StressOpsPerThread; ++I) {
+            const bool IsPush = Rng.chance(1, 2);
+            const bool Left = Rng.chance(1, 2);
+            const std::uint32_t V = randomValue(Rng);
+            const std::uint64_t T0 = HistoryRecorder::now();
+            if (IsPush) {
+              const PushResult R = A::push(*Obj, T, Left, V);
+              const std::uint64_t T1 = HistoryRecorder::now();
+              if (R == PushResult::Abort)
+                Aborts.fetch_add(1, std::memory_order_relaxed);
+              else
+                Rec.recordOp(Left ? OpCode::PushLeft : OpCode::PushRight, V,
+                             R == PushResult::Full ? ResCode::Full
+                                                   : ResCode::Done,
+                             0, T0, T1);
+            } else {
+              const PopResult<std::uint32_t> R = A::pop(*Obj, T, Left);
+              const std::uint64_t T1 = HistoryRecorder::now();
+              if (R.isAbort())
+                Aborts.fetch_add(1, std::memory_order_relaxed);
+              else if (R.isValue())
+                Rec.recordOp(Left ? OpCode::PopLeft : OpCode::PopRight, 0,
+                             ResCode::Value, R.value(), T0, T1);
+              else
+                Rec.recordOp(Left ? OpCode::PopLeft : OpCode::PopRight, 0,
+                             ResCode::Empty, 0, T0, T1);
+            }
+          }
+        };
+        if (Mode == AsyncMode::Chaos) {
+          ChaosHook Hook(0xCD0DEull * (Round + 1) + T, ChaosYieldPermille,
+                         ChaosStallPermille, ChaosStallGrants);
+          SchedHookScope Scope(Hook);
+          RunOps();
+        } else if (Mode == AsyncMode::StallPlan) {
+          FaultInjector Hook(Plan, T, Clock);
+          SchedHookScope Scope(Hook);
+          RunOps();
+        } else {
+          RunOps();
+        }
+      });
+    }
+    for (auto &Th : Threads)
+      Th.join();
+
+    if (A::Strong)
+      ASSERT_EQ(Aborts.load(), 0u)
+          << "strong deque aborted in round " << Round;
+    const History H = mergeHistories(Recorders);
+    ASSERT_TRUE(H.wellFormed());
+    const CheckResult Result = checkLinearizable(H, A::makeSpec());
+    ASSERT_FALSE(Result.HitSearchCap);
+    ASSERT_TRUE(Result.Linearizable)
+        << "round " << Round << ": " << Result.FailureNote;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Cell: Explore (schedule-space search over tiny two-thread scenarios)
+//===----------------------------------------------------------------------===
+
+template <typename A>
+void drainAndCheck(typename A::Object &Obj,
+                   std::vector<HistoryRecorder> &Recs,
+                   std::uint32_t Aborted) {
+  for (std::uint32_t Guard = 0;; ++Guard) {
+    ASSERT_LE(Guard, SmallCapacity + 1u) << "drain did not terminate";
+    const std::uint64_t T0 = HistoryRecorder::now();
+    const PopResult<std::uint32_t> R = A::pop(Obj, 0);
+    const std::uint64_t T1 = HistoryRecorder::now();
+    ASSERT_FALSE(R.isAbort()) << "solo drain aborted";
+    if (!R.isValue()) {
+      Recs[0].recordPopEmpty(T0, T1);
+      break;
+    }
+    Recs[0].recordPopValue(R.value(), T0, T1);
+  }
+  if (A::Strong)
+    ASSERT_EQ(Aborted, 0u);
+  const History H = mergeHistories(Recs);
+  ASSERT_TRUE(H.wellFormed());
+  const CheckResult Result = checkLinearizable(H, A::makeSpec());
+  ASSERT_FALSE(Result.HitSearchCap);
+  ASSERT_TRUE(Result.Linearizable) << Result.FailureNote;
+}
+
+template <typename A> void exploreCell(bool Exhaustive) {
+  const auto RunScenario = [&](const ScheduleExplorer::ScenarioFactory &F,
+                               std::uint64_t Salt) {
+    ScheduleExplorer Explorer;
+    const ExploreResult R =
+        Exhaustive ? Explorer.exploreAll(F)
+                   : Explorer.randomWalks(F, RandomWalkRuns, 0x5EED5ull + Salt);
+    EXPECT_GT(R.Runs, 0u);
+    EXPECT_EQ(R.CappedRuns, 0u);
+    if (Exhaustive)
+      EXPECT_TRUE(R.Complete);
+  };
+
+  // Two concurrent pushes on an empty object, drained and checked solo.
+  RunScenario(
+      [] {
+        std::shared_ptr<typename A::Object> Obj = A::make(2, SmallCapacity);
+        auto Recs = std::make_shared<std::vector<HistoryRecorder>>();
+        Recs->emplace_back(0);
+        Recs->emplace_back(1);
+        auto Aborted = std::make_shared<std::uint32_t>(0);
+        ScenarioRun Run;
+        for (std::uint32_t T = 0; T < 2; ++T)
+          Run.Bodies.push_back([Obj, Recs, Aborted, T] {
+            const std::uint32_t V = T + 1;
+            const std::uint64_t T0 = HistoryRecorder::now();
+            const PushResult R = A::push(*Obj, T, V);
+            const std::uint64_t T1 = HistoryRecorder::now();
+            if (R == PushResult::Abort)
+              ++*Aborted;
+            else
+              (*Recs)[T].recordPush(V, R == PushResult::Full, T0, T1);
+          });
+        Run.PostCheck = [Obj, Recs, Aborted] {
+          drainAndCheck<A>(*Obj, *Recs, *Aborted);
+        };
+        return Run;
+      },
+      1);
+
+  // A push racing a pop on a one-element object.
+  RunScenario(
+      [] {
+        std::shared_ptr<typename A::Object> Obj = A::make(2, SmallCapacity);
+        auto Recs = std::make_shared<std::vector<HistoryRecorder>>();
+        Recs->emplace_back(0);
+        Recs->emplace_back(1);
+        auto Aborted = std::make_shared<std::uint32_t>(0);
+        {
+          const std::uint64_t T0 = HistoryRecorder::now();
+          const PushResult R = A::push(*Obj, 0, 9);
+          const std::uint64_t T1 = HistoryRecorder::now();
+          EXPECT_EQ(R, PushResult::Done);
+          (*Recs)[0].recordPush(9, false, T0, T1);
+        }
+        ScenarioRun Run;
+        Run.Bodies.push_back([Obj, Recs, Aborted] {
+          const std::uint64_t T0 = HistoryRecorder::now();
+          const PushResult R = A::push(*Obj, 0, 1);
+          const std::uint64_t T1 = HistoryRecorder::now();
+          if (R == PushResult::Abort)
+            ++*Aborted;
+          else
+            (*Recs)[0].recordPush(1, R == PushResult::Full, T0, T1);
+        });
+        Run.Bodies.push_back([Obj, Recs, Aborted] {
+          const std::uint64_t T0 = HistoryRecorder::now();
+          const PopResult<std::uint32_t> R = A::pop(*Obj, 1);
+          const std::uint64_t T1 = HistoryRecorder::now();
+          if (R.isAbort())
+            ++*Aborted;
+          else if (R.isValue())
+            (*Recs)[1].recordPopValue(R.value(), T0, T1);
+          else
+            (*Recs)[1].recordPopEmpty(T0, T1);
+        });
+        Run.PostCheck = [Obj, Recs, Aborted] {
+          drainAndCheck<A>(*Obj, *Recs, *Aborted);
+        };
+        return Run;
+      },
+      2);
+}
+
+template <typename A>
+void dequeDrainAndCheck(typename A::Object &Obj,
+                        std::vector<HistoryRecorder> &Recs,
+                        std::uint32_t Aborted) {
+  for (std::uint32_t Guard = 0;; ++Guard) {
+    ASSERT_LE(Guard, SmallCapacity + 1u) << "drain did not terminate";
+    const std::uint64_t T0 = HistoryRecorder::now();
+    const PopResult<std::uint32_t> R = A::pop(Obj, 0, /*Left=*/true);
+    const std::uint64_t T1 = HistoryRecorder::now();
+    ASSERT_FALSE(R.isAbort()) << "solo drain aborted";
+    if (!R.isValue()) {
+      Recs[0].recordOp(OpCode::PopLeft, 0, ResCode::Empty, 0, T0, T1);
+      break;
+    }
+    Recs[0].recordOp(OpCode::PopLeft, 0, ResCode::Value, R.value(), T0, T1);
+  }
+  if (A::Strong)
+    ASSERT_EQ(Aborted, 0u);
+  const History H = mergeHistories(Recs);
+  ASSERT_TRUE(H.wellFormed());
+  const CheckResult Result = checkLinearizable(H, A::makeSpec());
+  ASSERT_FALSE(Result.HitSearchCap);
+  ASSERT_TRUE(Result.Linearizable) << Result.FailureNote;
+}
+
+template <typename A> void dequeExploreCell(bool Exhaustive) {
+  const auto RunScenario = [&](const ScheduleExplorer::ScenarioFactory &F,
+                               std::uint64_t Salt) {
+    ScheduleExplorer Explorer;
+    const ExploreResult R =
+        Exhaustive ? Explorer.exploreAll(F)
+                   : Explorer.randomWalks(F, RandomWalkRuns, 0xDEC5ull + Salt);
+    EXPECT_GT(R.Runs, 0u);
+    EXPECT_EQ(R.CappedRuns, 0u);
+    if (Exhaustive)
+      EXPECT_TRUE(R.Complete);
+  };
+
+  // pushLeft racing pushRight on an empty deque.
+  RunScenario(
+      [] {
+        std::shared_ptr<typename A::Object> Obj = A::make(2);
+        auto Recs = std::make_shared<std::vector<HistoryRecorder>>();
+        Recs->emplace_back(0);
+        Recs->emplace_back(1);
+        auto Aborted = std::make_shared<std::uint32_t>(0);
+        ScenarioRun Run;
+        for (std::uint32_t T = 0; T < 2; ++T)
+          Run.Bodies.push_back([Obj, Recs, Aborted, T] {
+            const bool Left = T == 0;
+            const std::uint32_t V = T + 1;
+            const std::uint64_t T0 = HistoryRecorder::now();
+            const PushResult R = A::push(*Obj, T, Left, V);
+            const std::uint64_t T1 = HistoryRecorder::now();
+            if (R == PushResult::Abort)
+              ++*Aborted;
+            else
+              (*Recs)[T].recordOp(Left ? OpCode::PushLeft : OpCode::PushRight,
+                                  V,
+                                  R == PushResult::Full ? ResCode::Full
+                                                        : ResCode::Done,
+                                  0, T0, T1);
+          });
+        Run.PostCheck = [Obj, Recs, Aborted] {
+          dequeDrainAndCheck<A>(*Obj, *Recs, *Aborted);
+        };
+        return Run;
+      },
+      1);
+
+  // pushRight racing popRight on a one-element deque (same end).
+  RunScenario(
+      [] {
+        std::shared_ptr<typename A::Object> Obj = A::make(2);
+        auto Recs = std::make_shared<std::vector<HistoryRecorder>>();
+        Recs->emplace_back(0);
+        Recs->emplace_back(1);
+        auto Aborted = std::make_shared<std::uint32_t>(0);
+        {
+          const std::uint64_t T0 = HistoryRecorder::now();
+          const PushResult R = A::push(*Obj, 0, /*Left=*/false, 9);
+          const std::uint64_t T1 = HistoryRecorder::now();
+          EXPECT_EQ(R, PushResult::Done);
+          (*Recs)[0].recordOp(OpCode::PushRight, 9, ResCode::Done, 0, T0, T1);
+        }
+        ScenarioRun Run;
+        Run.Bodies.push_back([Obj, Recs, Aborted] {
+          const std::uint64_t T0 = HistoryRecorder::now();
+          const PushResult R = A::push(*Obj, 0, /*Left=*/false, 1);
+          const std::uint64_t T1 = HistoryRecorder::now();
+          if (R == PushResult::Abort)
+            ++*Aborted;
+          else
+            (*Recs)[0].recordOp(OpCode::PushRight, 1,
+                                R == PushResult::Full ? ResCode::Full
+                                                      : ResCode::Done,
+                                0, T0, T1);
+        });
+        Run.Bodies.push_back([Obj, Recs, Aborted] {
+          const std::uint64_t T0 = HistoryRecorder::now();
+          const PopResult<std::uint32_t> R = A::pop(*Obj, 1, /*Left=*/false);
+          const std::uint64_t T1 = HistoryRecorder::now();
+          if (R.isAbort())
+            ++*Aborted;
+          else if (R.isValue())
+            (*Recs)[1].recordOp(OpCode::PopRight, 0, ResCode::Value, R.value(),
+                                T0, T1);
+          else
+            (*Recs)[1].recordOp(OpCode::PopRight, 0, ResCode::Empty, 0, T0,
+                                T1);
+        });
+        Run.PostCheck = [Obj, Recs, Aborted] {
+          dequeDrainAndCheck<A>(*Obj, *Recs, *Aborted);
+        };
+        return Run;
+      },
+      2);
+}
+
+//===----------------------------------------------------------------------===
+// Cell: CrashOrStall — mode-specific crash sweeps
+//===----------------------------------------------------------------------===
+
+/// Lock-free entries: crash a push (then a pop) at every shared-access
+/// point; the survivor completes solo and the crashed operation is
+/// all-or-nothing.
+template <typename A> void crashSweepCell() {
+  std::size_t PushAccesses = 0;
+  {
+    auto Probe = A::make(StressThreads, SmallCapacity);
+    EXPECT_EQ(A::push(*Probe, 0, 1), PushResult::Done);
+    PushAccesses =
+        runAndCrashAt([&] { (void)A::push(*Probe, 0, 2); }, 100000);
+  }
+  ASSERT_GT(PushAccesses, 0u);
+  for (std::uint32_t K = 0; K < PushAccesses; ++K) {
+    auto Obj = A::make(StressThreads, SmallCapacity);
+    ASSERT_EQ(A::push(*Obj, 0, 1), PushResult::Done);
+    runAndCrashAt([&] { (void)A::push(*Obj, 0, 2); }, K);
+    ASSERT_EQ(A::push(*Obj, 1, 3), PushResult::Done)
+        << "survivor push blocked; crash point " << K;
+    std::uint32_t Seen1 = 0, Seen2 = 0, Seen3 = 0, Total = 0;
+    for (std::uint32_t Guard = 0; Guard <= SmallCapacity + 1; ++Guard) {
+      const PopResult<std::uint32_t> R = A::pop(*Obj, 1);
+      ASSERT_FALSE(R.isAbort()) << "survivor drain aborted; crash point " << K;
+      if (!R.isValue())
+        break;
+      ++Total;
+      if (R.value() == 1)
+        ++Seen1;
+      else if (R.value() == 2)
+        ++Seen2;
+      else if (R.value() == 3)
+        ++Seen3;
+    }
+    EXPECT_EQ(Seen1, 1u) << "crash point " << K;
+    EXPECT_EQ(Seen3, 1u) << "crash point " << K;
+    EXPECT_LE(Seen2, 1u) << "crash point " << K;
+    EXPECT_EQ(Total, 2u + Seen2)
+        << "crashed push must be all-or-nothing; crash point " << K;
+  }
+
+  std::size_t PopAccesses = 0;
+  {
+    auto Probe = A::make(StressThreads, SmallCapacity);
+    EXPECT_EQ(A::push(*Probe, 0, 1), PushResult::Done);
+    EXPECT_EQ(A::push(*Probe, 0, 2), PushResult::Done);
+    PopAccesses = runAndCrashAt([&] { (void)A::pop(*Probe, 0); }, 100000);
+  }
+  ASSERT_GT(PopAccesses, 0u);
+  for (std::uint32_t K = 0; K < PopAccesses; ++K) {
+    auto Obj = A::make(StressThreads, SmallCapacity);
+    ASSERT_EQ(A::push(*Obj, 0, 1), PushResult::Done);
+    ASSERT_EQ(A::push(*Obj, 0, 2), PushResult::Done);
+    runAndCrashAt([&] { (void)A::pop(*Obj, 0); }, K);
+    ASSERT_EQ(A::push(*Obj, 1, 3), PushResult::Done)
+        << "survivor push blocked; crash point " << K;
+    std::uint32_t Total = 0, Seen3 = 0;
+    for (std::uint32_t Guard = 0; Guard <= SmallCapacity + 1; ++Guard) {
+      const PopResult<std::uint32_t> R = A::pop(*Obj, 1);
+      ASSERT_FALSE(R.isAbort()) << "survivor drain aborted; crash point " << K;
+      if (!R.isValue())
+        break;
+      ++Total;
+      if (R.value() == 3)
+        ++Seen3;
+    }
+    EXPECT_EQ(Seen3, 1u) << "crash point " << K;
+    EXPECT_TRUE(Total == 2u || Total == 3u)
+        << "crashed pop must be all-or-nothing; crash point " << K
+        << " drained " << Total;
+  }
+}
+
+/// Crash-tolerant entries: generalizes the crash_test slow-path sweep to
+/// any CrashTolerant* object — crash a forced-slow operation at every
+/// access point; the survivor completes, degrading (degradation counter
+/// nonzero) exactly when the corpse held the lease.
+template <typename CT> void crashTolerantSweepCell() {
+  std::size_t Accesses = 0;
+  {
+    auto Probe = CT::makeForSweep();
+    Accesses = runAndCrashAt(
+        [&] {
+          (void)CT::skeleton(*Probe).strongApply(0, CT::forcedSlow(*Probe, 7));
+        },
+        100000);
+  }
+  ASSERT_GT(Accesses, 10u); // Sanity: the slow path is well past the fast 6.
+
+  for (std::uint32_t K = 0; K < Accesses; ++K) {
+    auto Obj = CT::makeForSweep();
+    runAndCrashAt(
+        [&] {
+          (void)CT::skeleton(*Obj).strongApply(0, CT::forcedSlow(*Obj, 7));
+        },
+        K);
+    auto &Skel = CT::skeleton(*Obj);
+    const bool CorpseHeldLock = Skel.guard().holderForTesting() == 1;
+
+    const PushResult First = Skel.strongApply(1, CT::forcedSlow(*Obj, 99));
+    ASSERT_EQ(First, PushResult::Done) << "crash point " << K;
+
+    const DegradationStats Stats = Skel.statsForTesting();
+    if (CorpseHeldLock) {
+      EXPECT_EQ(Stats.Degradations, 1u) << "crash point " << K;
+      EXPECT_EQ(Stats.Revocations, 1u) << "crash point " << K;
+      EXPECT_TRUE(Skel.suspects().isSuspectForTesting(0))
+          << "crash point " << K;
+    } else {
+      EXPECT_EQ(Stats.Degradations, 0u) << "crash point " << K;
+      EXPECT_EQ(Stats.ProtectedOps, 1u) << "crash point " << K;
+    }
+
+    const PushResult Second = Skel.strongApply(1, CT::forcedSlow(*Obj, 100));
+    ASSERT_EQ(Second, PushResult::Done) << "crash point " << K;
+    EXPECT_GE(Skel.statsForTesting().ProtectedOps, 1u) << "crash point " << K;
+    EXPECT_FALSE(Skel.contentionForTesting()) << "crash point " << K;
+    EXPECT_EQ(Skel.guard().holderForTesting(), 0u) << "crash point " << K;
+    EXPECT_GE(CT::drainCount(*Obj), 2u) << "crash point " << K;
+  }
+}
+
+/// HLM deque (lock-free, positional): crash tryPushRight and tryPopLeft
+/// at every access point; state stays all-or-nothing and solo survivors
+/// never abort.
+inline void ofDequeCrashSweep() {
+  std::size_t PushAccesses = 0;
+  {
+    ObstructionFreeDeque Probe(SmallCapacity, SmallLeftSlots);
+    PushAccesses =
+        runAndCrashAt([&] { (void)Probe.tryPushRight(7); }, 100000);
+  }
+  ASSERT_GT(PushAccesses, 2u);
+  for (std::uint32_t K = 0; K < PushAccesses; ++K) {
+    ObstructionFreeDeque Deque(SmallCapacity, SmallLeftSlots);
+    runAndCrashAt([&] { (void)Deque.tryPushRight(7); }, K);
+    ASSERT_LE(Deque.sizeForTesting(), 1u) << "crash point " << K;
+    ASSERT_EQ(Deque.tryPushLeft(5), PushResult::Done) << "crash point " << K;
+    ASSERT_EQ(Deque.tryPushRight(6), PushResult::Done) << "crash point " << K;
+    const auto Right = Deque.tryPopRight();
+    ASSERT_TRUE(Right.isValue()) << "crash point " << K;
+    ASSERT_EQ(Right.value(), 6u) << "crash point " << K;
+    const auto Left = Deque.tryPopLeft();
+    ASSERT_TRUE(Left.isValue()) << "crash point " << K;
+    ASSERT_EQ(Left.value(), 5u) << "crash point " << K;
+  }
+
+  std::size_t PopAccesses = 0;
+  {
+    ObstructionFreeDeque Probe(SmallCapacity, SmallLeftSlots);
+    ASSERT_EQ(Probe.tryPushLeft(3), PushResult::Done);
+    PopAccesses = runAndCrashAt([&] { (void)Probe.tryPopLeft(); }, 100000);
+  }
+  ASSERT_GT(PopAccesses, 2u);
+  for (std::uint32_t K = 0; K < PopAccesses; ++K) {
+    ObstructionFreeDeque Deque(SmallCapacity, SmallLeftSlots);
+    ASSERT_EQ(Deque.tryPushLeft(3), PushResult::Done);
+    runAndCrashAt([&] { (void)Deque.tryPopLeft(); }, K);
+    const std::uint32_t Size = Deque.sizeForTesting();
+    ASSERT_LE(Size, 1u) << "crash point " << K;
+    const auto R = Deque.tryPopLeft();
+    if (Size == 1) {
+      ASSERT_TRUE(R.isValue()) << "crash point " << K;
+      ASSERT_EQ(R.value(), 3u) << "crash point " << K;
+    } else {
+      ASSERT_FALSE(R.isValue()) << "crash point " << K;
+    }
+    ASSERT_TRUE(Deque.tryPopLeft().isEmpty()) << "crash point " << K;
+  }
+}
+
+/// Leasable StarvationFreeLock: non-RAII crash sweep at the lock level
+/// (RAII-locked objects cannot be crash-swept — the unwind would release
+/// the lock). Victim takes the lock, writes a register, unlocks; crash
+/// at every access point. A survivor's unbounded lock() must terminate,
+/// revoking the corpse's lease exactly when it held one, and the lock is
+/// healed for a third process afterwards.
+inline void leasableLockCrashSweep() {
+  using LockT = StarvationFreeLock<LeasableTag<16>>;
+  std::size_t Accesses = 0;
+  {
+    LockT Probe(3);
+    AtomicRegister<std::uint32_t> Reg;
+    Accesses = runAndCrashAt(
+        [&] {
+          Probe.lock(0);
+          Reg.write(1);
+          Probe.unlock(0);
+        },
+        100000);
+  }
+  ASSERT_GT(Accesses, 3u);
+
+  for (std::uint32_t K = 0; K < Accesses; ++K) {
+    LockT Lock(3);
+    AtomicRegister<std::uint32_t> Reg;
+    runAndCrashAt(
+        [&] {
+          Lock.lock(0);
+          Reg.write(1);
+          Lock.unlock(0);
+        },
+        K);
+    const bool CorpseHeldLock = Lock.inner().holderForTesting() == 1;
+
+    // Survivor: the unbounded lock() terminates whatever the corpse left
+    // behind (raised flag, parked turn, held lease).
+    Lock.lock(1);
+    Reg.write(2);
+    Lock.unlock(1);
+    if (CorpseHeldLock) {
+      EXPECT_GE(Lock.inner().revocations(), 1u) << "crash point " << K;
+      EXPECT_TRUE(Lock.suspects().isSuspectForTesting(0))
+          << "crash point " << K;
+    }
+
+    // Healed: a third process acquires cleanly and the lock ends free.
+    Lock.lock(2);
+    Lock.unlock(2);
+    EXPECT_EQ(Lock.inner().holderForTesting(), 0u) << "crash point " << K;
+    EXPECT_EQ(Reg.peekForTesting(), 2u) << "crash point " << K;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Cell: AccessBound (solo shared-access counts)
+//===----------------------------------------------------------------------===
+
+struct AccessBounds {
+  std::uint32_t Push = 0;
+  std::uint32_t Pop = 0;
+  bool Exact = false;
+};
+
+template <typename A> void accessBoundCell(AccessBounds B) {
+  auto Obj = A::make(StressThreads, SmallCapacity);
+  const AccessCounts PushCounts =
+      countAccesses([&] { (void)A::push(*Obj, 0, 7); });
+  const AccessCounts PopCounts = countAccesses([&] { (void)A::pop(*Obj, 0); });
+  EXPECT_GT(PushCounts.total(), 0u);
+  if (B.Exact) {
+    EXPECT_EQ(PushCounts.total(), B.Push);
+    EXPECT_EQ(PopCounts.total(), B.Pop);
+  } else {
+    EXPECT_LE(PushCounts.total(), B.Push);
+    EXPECT_LE(PopCounts.total(), B.Pop);
+  }
+}
+
+template <typename A> void dequeAccessBoundCell(AccessBounds B) {
+  auto Obj = A::make(StressThreads);
+  const AccessCounts PushCounts =
+      countAccesses([&] { (void)A::push(*Obj, 0, /*Left=*/false, 7); });
+  const AccessCounts PopCounts =
+      countAccesses([&] { (void)A::pop(*Obj, 0, /*Left=*/false); });
+  EXPECT_GT(PushCounts.total(), 0u);
+  if (B.Exact) {
+    EXPECT_EQ(PushCounts.total(), B.Push);
+    EXPECT_EQ(PopCounts.total(), B.Pop);
+  } else {
+    EXPECT_LE(PushCounts.total(), B.Push);
+    EXPECT_LE(PopCounts.total(), B.Pop);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Counter cells (custom: returns are prefix sums, not push/pop codes)
+//===----------------------------------------------------------------------===
+
+inline void counterSpecReplayCell() {
+  ContentionSensitiveCounter<> C(1);
+  std::uint64_t Expect = 0;
+  for (std::uint32_t I = 1; I <= 10; ++I) {
+    Expect += I;
+    EXPECT_EQ(C.add(0, I), Expect);
+  }
+  EXPECT_EQ(C.valueForTesting(), Expect);
+}
+
+/// Unit adds from every thread: linearizability of a counter whose add
+/// returns the new value means the returns are exactly {1..total}.
+inline void counterStressRounds(AsyncMode Mode) {
+  const std::uint32_t Rounds =
+      Mode == AsyncMode::None ? StressRounds : ChaosRounds;
+  for (std::uint32_t Round = 0; Round < Rounds; ++Round) {
+    ContentionSensitiveCounter<> C(StressThreads);
+    std::vector<std::vector<std::uint64_t>> Returns(StressThreads);
+    SpinBarrier Barrier(StressThreads);
+    FaultClock Clock;
+    const FaultPlan Plan =
+        FaultPlan::stallAt(0, StallPlanAtAccess, StallPlanGrants);
+
+    std::vector<std::thread> Threads;
+    for (std::uint32_t T = 0; T < StressThreads; ++T) {
+      Threads.emplace_back([&, T] {
+        auto RunOps = [&] {
+          Barrier.arriveAndWait();
+          for (std::uint32_t I = 0; I < StressOpsPerThread; ++I)
+            Returns[T].push_back(C.add(T, 1));
+        };
+        if (Mode == AsyncMode::Chaos) {
+          ChaosHook Hook(0xC07EFull * (Round + 1) + T, ChaosYieldPermille,
+                         ChaosStallPermille, ChaosStallGrants);
+          SchedHookScope Scope(Hook);
+          RunOps();
+        } else if (Mode == AsyncMode::StallPlan) {
+          FaultInjector Hook(Plan, T, Clock);
+          SchedHookScope Scope(Hook);
+          RunOps();
+        } else {
+          RunOps();
+        }
+      });
+    }
+    for (auto &Th : Threads)
+      Th.join();
+
+    std::vector<std::uint64_t> All;
+    for (const auto &Per : Returns)
+      All.insert(All.end(), Per.begin(), Per.end());
+    std::sort(All.begin(), All.end());
+    ASSERT_EQ(All.size(),
+              static_cast<std::size_t>(StressThreads) * StressOpsPerThread);
+    for (std::size_t I = 0; I < All.size(); ++I)
+      ASSERT_EQ(All[I], I + 1) << "round " << Round;
+    EXPECT_EQ(C.valueForTesting(), All.size());
+  }
+}
+
+inline void counterExploreCell() {
+  const auto Factory = [] {
+    auto Obj = std::make_shared<ContentionSensitiveCounter<>>(2);
+    auto Returns = std::make_shared<std::vector<std::uint64_t>>();
+    ScenarioRun Run;
+    for (std::uint32_t T = 0; T < 2; ++T)
+      Run.Bodies.push_back([Obj, Returns, T] {
+        // The scheduler serializes bodies between accesses, so the
+        // shared vector needs no extra synchronization.
+        for (std::uint32_t I = 0; I < 2; ++I)
+          Returns->push_back(Obj->add(T, 1));
+      });
+    Run.PostCheck = [Obj, Returns] {
+      std::vector<std::uint64_t> Sorted = *Returns;
+      std::sort(Sorted.begin(), Sorted.end());
+      ASSERT_EQ(Sorted.size(), 4u);
+      for (std::size_t I = 0; I < Sorted.size(); ++I)
+        ASSERT_EQ(Sorted[I], I + 1);
+      ASSERT_EQ(Obj->valueForTesting(), 4u);
+    };
+    return Run;
+  };
+  ScheduleExplorer Explorer;
+  const ExploreResult R =
+      Explorer.randomWalks(Factory, RandomWalkRuns, 0xC07E5ull);
+  EXPECT_GT(R.Runs, 0u);
+  EXPECT_EQ(R.CappedRuns, 0u);
+}
+
+inline void counterAccessBoundCell() {
+  ContentionSensitiveCounter<> C(StressThreads);
+  // Paper Theorem: a solo add costs 1 CONTENTION read + the 2-access
+  // weak add — 3 shared accesses, exactly.
+  EXPECT_EQ(countAccesses([&] { (void)C.add(0, 1); }).total(), 3u);
+}
+
+//===----------------------------------------------------------------------===
+// Registry
+//===----------------------------------------------------------------------===
+
+/// One object's row in the battery matrix: a display name, the src/core
+/// headers it certifies (the registry-exhaustiveness test requires every
+/// core header to appear in some entry), and the six cells.
+struct BatteryEntry {
+  std::string Name;
+  std::vector<std::string> CoveredHeaders;
+  std::function<void()> SpecReplay;
+  std::function<void()> LincheckStress;
+  std::function<void()> Explore;
+  std::function<void()> Chaos;
+  std::function<void()> CrashOrStall;
+  std::function<void()> AccessBound;
+};
+
+template <typename A>
+BatteryEntry pushPopEntry(std::string Name,
+                          std::vector<std::string> Headers, bool Exhaustive,
+                          AccessBounds Bounds,
+                          std::function<void()> ExtraCrash = nullptr) {
+  BatteryEntry E;
+  E.Name = std::move(Name);
+  E.CoveredHeaders = std::move(Headers);
+  E.SpecReplay = [] { specReplayCell<A>(); };
+  E.LincheckStress = [] { stressRounds<A>(AsyncMode::None); };
+  E.Explore = [Exhaustive] { exploreCell<A>(Exhaustive); };
+  E.Chaos = [] { stressRounds<A>(AsyncMode::Chaos); };
+  E.CrashOrStall = [Extra = std::move(ExtraCrash)] {
+    stressRounds<A>(AsyncMode::StallPlan);
+    if (Extra && !::testing::Test::HasFatalFailure())
+      Extra();
+  };
+  E.AccessBound = [Bounds] { accessBoundCell<A>(Bounds); };
+  return E;
+}
+
+template <typename A>
+BatteryEntry dequeEntry(std::string Name, std::vector<std::string> Headers,
+                        bool Exhaustive, AccessBounds Bounds,
+                        std::function<void()> ExtraCrash = nullptr) {
+  BatteryEntry E;
+  E.Name = std::move(Name);
+  E.CoveredHeaders = std::move(Headers);
+  E.SpecReplay = [] { dequeSpecReplayCell<A>(); };
+  E.LincheckStress = [] { dequeStressRounds<A>(AsyncMode::None); };
+  E.Explore = [Exhaustive] { dequeExploreCell<A>(Exhaustive); };
+  E.Chaos = [] { dequeStressRounds<A>(AsyncMode::Chaos); };
+  E.CrashOrStall = [Extra = std::move(ExtraCrash)] {
+    dequeStressRounds<A>(AsyncMode::StallPlan);
+    if (Extra && !::testing::Test::HasFatalFailure())
+      Extra();
+  };
+  E.AccessBound = [Bounds] { dequeAccessBoundCell<A>(Bounds); };
+  return E;
+}
+
+inline BatteryEntry counterEntry() {
+  BatteryEntry E;
+  E.Name = "cs-counter";
+  E.CoveredHeaders = {"ContentionSensitiveCounter.h"};
+  E.SpecReplay = [] { counterSpecReplayCell(); };
+  E.LincheckStress = [] { counterStressRounds(AsyncMode::None); };
+  E.Explore = [] { counterExploreCell(); };
+  E.Chaos = [] { counterStressRounds(AsyncMode::Chaos); };
+  E.CrashOrStall = [] { counterStressRounds(AsyncMode::StallPlan); };
+  E.AccessBound = [] { counterAccessBoundCell(); };
+  return E;
+}
+
+/// The battery matrix. Crash modes per entry:
+///  * lock-free objects (abortable/nonblocking/HLM/wait-free): full
+///    victim-crash sweep in addition to the stall plan;
+///  * crash-tolerant objects: the forced-slow crash sweep (degradation
+///    counter nonzero iff the corpse held the lease);
+///  * leasable-locked baselines: the non-RAII lock-level crash sweep;
+///  * everything lock-based or announcement-based (plain Figure 3,
+///    boxed, boosted, plain locked): stall plan only — a crash inside a
+///    ScopedLock region would be released by the unwind (meaningless) or
+///    terminate in the noexcept unlock, and a crashed TimestampBoost
+///    announcement blocks all later operations by design.
+inline const std::vector<BatteryEntry> &batteryRegistry() {
+  static const std::vector<BatteryEntry> Registry = [] {
+    std::vector<BatteryEntry> R;
+    // Stacks.
+    R.push_back(pushPopEntry<AbortableStackAdapter>(
+        "abortable-stack", {"AbortableStack.h", "Results.h"},
+        /*Exhaustive=*/true, AccessBounds{5, 5, true},
+        [] { crashSweepCell<AbortableStackAdapter>(); }));
+    R.push_back(pushPopEntry<NonBlockingStackAdapter>(
+        "nonblocking-stack", {"NonBlockingStack.h"}, /*Exhaustive=*/false,
+        AccessBounds{8, 8, false},
+        [] { crashSweepCell<NonBlockingStackAdapter>(); }));
+    R.push_back(pushPopEntry<CsStackAdapter>(
+        "cs-stack", {"ContentionSensitiveStack.h", "ContentionSensitive.h"},
+        /*Exhaustive=*/false, AccessBounds{6, 6, true}));
+    R.push_back(pushPopEntry<CtStackAdapter>(
+        "ct-stack", {"CrashTolerantStack.h", "CrashTolerant.h"},
+        /*Exhaustive=*/false, AccessBounds{6, 6, true},
+        [] { crashTolerantSweepCell<CtStackAdapter>(); }));
+    R.push_back(pushPopEntry<BoxedStackAdapter>(
+        "boxed-stack", {"BoxedStack.h"}, /*Exhaustive=*/false,
+        AccessBounds{32, 32, false}));
+    R.push_back(pushPopEntry<BoostedStackAdapter>(
+        "boosted-stack", {"TimestampBoost.h"}, /*Exhaustive=*/false,
+        AccessBounds{6, 6, true}));
+    R.push_back(pushPopEntry<WaitFreeStackAdapter>(
+        "wait-free-stack", {"WaitFreeUniversal.h"}, /*Exhaustive=*/false,
+        AccessBounds{256, 256, false},
+        [] { crashSweepCell<WaitFreeStackAdapter>(); }));
+    R.push_back(pushPopEntry<LockedStackAdapter<TtasLock>>(
+        "locked-stack", {}, /*Exhaustive=*/false, AccessBounds{16, 16, false}));
+    R.push_back(pushPopEntry<LockedStackAdapter<StarvationFreeLock<Leasable>>>(
+        "locked-stack-leased", {}, /*Exhaustive=*/false,
+        AccessBounds{64, 64, false}, [] { leasableLockCrashSweep(); }));
+    // Queues.
+    R.push_back(pushPopEntry<AbortableQueueAdapter>(
+        "abortable-queue", {"AbortableQueue.h"}, /*Exhaustive=*/true,
+        AccessBounds{6, 6, true},
+        [] { crashSweepCell<AbortableQueueAdapter>(); }));
+    R.push_back(pushPopEntry<NonBlockingQueueAdapter>(
+        "nonblocking-queue", {"NonBlockingQueue.h"}, /*Exhaustive=*/false,
+        AccessBounds{10, 10, false},
+        [] { crashSweepCell<NonBlockingQueueAdapter>(); }));
+    R.push_back(pushPopEntry<CsQueueAdapter>(
+        "cs-queue", {"ContentionSensitiveQueue.h"}, /*Exhaustive=*/false,
+        AccessBounds{7, 7, true}));
+    R.push_back(pushPopEntry<CtQueueAdapter>(
+        "ct-queue", {"CrashTolerantQueue.h"}, /*Exhaustive=*/false,
+        AccessBounds{7, 7, true},
+        [] { crashTolerantSweepCell<CtQueueAdapter>(); }));
+    R.push_back(pushPopEntry<LockedQueueAdapter<TtasLock>>(
+        "locked-queue", {}, /*Exhaustive=*/false, AccessBounds{16, 16, false}));
+    R.push_back(pushPopEntry<LockedQueueAdapter<StarvationFreeLock<Leasable>>>(
+        "locked-queue-leased", {}, /*Exhaustive=*/false,
+        AccessBounds{64, 64, false}, [] { leasableLockCrashSweep(); }));
+    // Deques.
+    R.push_back(dequeEntry<OfDequeAdapter>(
+        "of-deque", {"ObstructionFreeDeque.h"}, /*Exhaustive=*/true,
+        AccessBounds{16, 16, false}, [] { ofDequeCrashSweep(); }));
+    R.push_back(dequeEntry<CsDequeAdapter>(
+        "cs-deque", {"ContentionSensitiveDeque.h"}, /*Exhaustive=*/false,
+        AccessBounds{24, 24, false}));
+    R.push_back(dequeEntry<CtDequeAdapter>(
+        "ct-deque", {"CrashTolerantDeque.h"}, /*Exhaustive=*/false,
+        AccessBounds{24, 24, false},
+        [] { crashTolerantSweepCell<CtDequeAdapter>(); }));
+    // Counter.
+    R.push_back(counterEntry());
+    return R;
+  }();
+  return Registry;
+}
+
+} // namespace conformance
+} // namespace csobj
+
+#endif // CSOBJ_TESTS_CONFORMANCE_BATTERY_H

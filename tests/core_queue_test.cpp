@@ -122,6 +122,8 @@ TEST(QueueAccessCountTest, SoloDequeueIsSixAccesses) {
   (void)Queue.weakEnqueue(1);
   const AccessCounts Counts =
       countAccesses([&] { EXPECT_TRUE(Queue.weakDequeue().isValue()); });
+  // read REAR, help (read + C&S), read FRONT, read ITEMS[next], C&S
+  // FRONT — the generation certificate is free when the slot is helped.
   EXPECT_EQ(Counts.total(), 6u);
 }
 

@@ -350,6 +350,31 @@ TEST(RecoverableArbiterTest, EntryIsBoundedAfterTwoSuspicionRounds) {
   EXPECT_TRUE(Suspects.isSuspectForTesting(0));
 }
 
+TEST(RecoverableArbiterTest, ReEntryAfterWithdrawalSucceedsOnThirdSuspicion) {
+  SuspectSetT<> Suspects(3);
+  RecoverableArbiterT<> Arbiter(3, Suspects);
+  // Same two-corpse setup as the bounded-entry test: thread 1 enters
+  // past thread 0's lowered flag, thread 0 enters on its own TURN.
+  ASSERT_TRUE(Arbiter.enterBounded(1, 4));
+  ASSERT_TRUE(Arbiter.enterBounded(0, 4));
+  ASSERT_EQ(Arbiter.turnForTesting(), 0u);
+  // Thread 2 spends its first suspicion on thread 0 (TURN skips to 1),
+  // then withdraws during its second patience round — before thread 1 is
+  // ever suspected.
+  ASSERT_FALSE(Arbiter.enterBounded(2, 2));
+  ASSERT_EQ(Arbiter.turnForTesting(), 1u);
+  ASSERT_TRUE(Suspects.isSuspectForTesting(0));
+  ASSERT_FALSE(Suspects.isSuspectForTesting(1));
+  // Re-entry gets a fresh two-suspicion budget: this round suspects the
+  // second corpse, TURN skips to thread 2 itself, and it enters — a
+  // withdrawn process is delayed, never wedged out of the doorway.
+  EXPECT_TRUE(Arbiter.enterBounded(2, 4));
+  EXPECT_TRUE(Suspects.isSuspectForTesting(1));
+  EXPECT_EQ(Arbiter.turnForTesting(), 2u);
+  Arbiter.exitAndAdvance(2);
+  EXPECT_FALSE(Arbiter.flagForTesting(2));
+}
+
 TEST(RecoverableArbiterTest, WithdrawLowersFlagWithoutAdvancingTurn) {
   SuspectSetT<> Suspects(2);
   RecoverableArbiterT<> Arbiter(2, Suspects);
@@ -547,6 +572,21 @@ TEST(WatchdogTest, DisarmedAndDisabledReportNothing) {
   Off.arm(1);
   Off.stop();
   EXPECT_EQ(Off.stuckCount(), 0u);
+}
+
+TEST(WatchdogTest, DisabledWatchdogAddsZeroSharedAccesses) {
+  // Regression guard for the measurement harness: a deadline of 0 turns
+  // the watchdog off, and "off" must mean free — arm/disarm on the hot
+  // path may not touch instrumented shared memory, or every access-count
+  // bound in the battery would silently inflate.
+  Watchdog Off(2, /*DeadlineNs=*/0);
+  Off.start();
+  const AccessCounts Counts = countAccesses([&] {
+    Off.arm(0);
+    Off.disarm(0);
+  });
+  Off.stop();
+  EXPECT_EQ(Counts.total(), 0u);
 }
 
 //===----------------------------------------------------------------------===

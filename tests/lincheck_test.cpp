@@ -151,6 +151,55 @@ TEST(CheckerTest, LostPushIsCaught) {
 }
 
 //===----------------------------------------------------------------------===
+// BoundedDequeSpec end-discipline
+//===----------------------------------------------------------------------===
+
+TEST(DequeSpecTest, PlainPushAndPopAreRejected) {
+  // The deque spec only speaks the four end-qualified codes; an adapter
+  // that records a plain Push/Pop against it is a harness bug and must be
+  // rejected outright, not silently folded onto one end.
+  BoundedDequeSpec Spec(4);
+  EXPECT_FALSE(
+      Spec.apply(makeOp(0, OpCode::Push, 1, ResCode::Done, 0, 0, 1)));
+  EXPECT_FALSE(
+      Spec.apply(makeOp(0, OpCode::Pop, 0, ResCode::Empty, 0, 2, 3)));
+}
+
+TEST(DequeSpecTest, EndQualifiedSequenceIsAccepted) {
+  BoundedDequeSpec Spec(4);
+  EXPECT_TRUE(
+      Spec.apply(makeOp(0, OpCode::PushLeft, 1, ResCode::Done, 0, 0, 1)));
+  EXPECT_TRUE(
+      Spec.apply(makeOp(0, OpCode::PushRight, 2, ResCode::Done, 0, 2, 3)));
+  // [1, 2]: left pop sees 1, right pop sees 2, then the deque is empty.
+  EXPECT_TRUE(
+      Spec.apply(makeOp(0, OpCode::PopLeft, 0, ResCode::Value, 1, 4, 5)));
+  EXPECT_TRUE(
+      Spec.apply(makeOp(0, OpCode::PopRight, 0, ResCode::Value, 2, 6, 7)));
+  EXPECT_TRUE(
+      Spec.apply(makeOp(0, OpCode::PopLeft, 0, ResCode::Empty, 0, 8, 9)));
+}
+
+TEST(DequeSpecTest, FullEdgeAtCapacity) {
+  BoundedDequeSpec Spec(2);
+  EXPECT_TRUE(
+      Spec.apply(makeOp(0, OpCode::PushLeft, 1, ResCode::Done, 0, 0, 1)));
+  EXPECT_TRUE(
+      Spec.apply(makeOp(0, OpCode::PushRight, 2, ResCode::Done, 0, 2, 3)));
+  // At capacity: Done is illegal, Full is the only legal answer.
+  EXPECT_FALSE(
+      Spec.apply(makeOp(0, OpCode::PushLeft, 3, ResCode::Done, 0, 4, 5)));
+  EXPECT_TRUE(
+      Spec.apply(makeOp(0, OpCode::PushRight, 3, ResCode::Full, 0, 4, 5)));
+}
+
+TEST(DequeSpecTest, CheckerRejectsPlainPushHistoryAgainstDequeSpec) {
+  History H;
+  H.Ops.push_back(makeOp(0, OpCode::Push, 1, ResCode::Done, 0, 0, 1));
+  EXPECT_FALSE(checkLinearizable(H, BoundedDequeSpec(2)).Linearizable);
+}
+
+//===----------------------------------------------------------------------===
 // Oracle over real concurrent executions
 //===----------------------------------------------------------------------===
 

@@ -48,6 +48,7 @@ static_assert(LockConcept<LamportFastLock>);
 static_assert(LockConcept<StdMutexLock>);
 static_assert(LockConcept<StarvationFreeLock<TasLock>>);
 static_assert(LockConcept<StarvationFreeLock<LamportFastLock>>);
+static_assert(LockConcept<StarvationFreeLock<Leasable>>);
 
 template <typename L>
 class LockTest : public ::testing::Test {};
@@ -59,7 +60,8 @@ using LockTypes =
                      StarvationFreeLock<TasLock>,
                      StarvationFreeLock<TtasLock>,
                      StarvationFreeLock<LamportFastLock>,
-                     StarvationFreeLock<AbortableTtasLock>>;
+                     StarvationFreeLock<AbortableTtasLock>,
+                     StarvationFreeLock<Leasable>>;
 TYPED_TEST_SUITE(LockTest, LockTypes);
 
 TYPED_TEST(LockTest, SingleThreadLockUnlock) {
@@ -345,6 +347,53 @@ TEST(StarvationFreeLockTest, EveryThreadCompletesFixedWorkload) {
   for (auto &W : Workers)
     W.join();
   EXPECT_EQ(Counter, static_cast<std::uint64_t>(Threads) * PerThread);
+}
+
+//===----------------------------------------------------------------------===
+// Leasable variant: the Section 4.4 transform over LeasedLock +
+// RecoverableArbiter (crash recovery folded into the lock adapter)
+//===----------------------------------------------------------------------===
+
+TEST(LeasableStarvationFreeLockTest, RevokesCorpseLeaseAndRecovers) {
+  // Small logical patience so the corpse is detected in a few dozen
+  // observations rather than the wall-clock-safe default.
+  using LeasableLock = StarvationFreeLock<LeasableTag<16>>;
+  LeasableLock Lock(3);
+  // Thread 0 "crashes" holding the lock: acquires and never unlocks.
+  Lock.lock(0);
+  EXPECT_EQ(Lock.inner().holderForTesting(), 1u);
+  // A survivor's first bounded round spends its doorway patience on the
+  // corpse's flag (skipping it once suspected), then its lease patience
+  // on the stale lease: the round times out but revokes the lease.
+  EXPECT_EQ(Lock.lockBounded(1), LeaseAcquire::TimedOut);
+  EXPECT_TRUE(Lock.suspects().isSuspectForTesting(0));
+  EXPECT_EQ(Lock.inner().revocations(), 1u);
+  EXPECT_EQ(Lock.inner().holderForTesting(), 0u) << "lease not revoked";
+  // The next round finds the lock healed and acquires.
+  EXPECT_EQ(Lock.lockBounded(1), LeaseAcquire::Acquired);
+  Lock.unlock(1);
+  // The unbounded LockConcept entry point also terminates post-crash.
+  Lock.lock(2);
+  Lock.unlock(2);
+}
+
+TEST(LeasableStarvationFreeLockTest, FalseSuspicionCostsOnlyTheLease) {
+  using LeasableLock = StarvationFreeLock<LeasableTag<16>>;
+  LeasableLock Lock(2);
+  Lock.lock(0);
+  // Thread 1 loses patience with the (actually alive) holder and
+  // revokes. Thread 0 then "resurrects": its unlock finds the lease
+  // gone, which is counted, never trapped.
+  EXPECT_EQ(Lock.lockBounded(1), LeaseAcquire::TimedOut);
+  EXPECT_EQ(Lock.inner().revocations(), 1u);
+  Lock.unlock(0);
+  EXPECT_EQ(Lock.inner().lostLeases(), 1u);
+  // Both threads keep working; thread 0's next entry resurrects it.
+  Lock.lock(0);
+  EXPECT_FALSE(Lock.suspects().isSuspectForTesting(0));
+  Lock.unlock(0);
+  Lock.lock(1);
+  Lock.unlock(1);
 }
 
 } // namespace
