@@ -29,6 +29,9 @@
 #include "core/NonBlockingStack.h"
 #include "locks/McsLock.h"
 #include "locks/TicketLock.h"
+#include "perf/CombiningObjects.h"
+#include "perf/EliminatingStack.h"
+#include "perf/ShardedStack.h"
 #include "runtime/Driver.h"
 #include "runtime/Workload.h"
 
@@ -184,6 +187,61 @@ struct EliminationStackAdapter {
   }
   void prefillOne(std::uint32_t V) { (void)Stack.push(V); }
   EliminationBackoffStack Stack;
+};
+
+/// Figure 3 with the gated elimination window (perf/EliminatingStack.h).
+/// Slots scale with threads so concurrent rendezvous spread.
+struct EliminatingCsStackAdapter {
+  static constexpr const char *Name = "eliminating(fig3+elim)";
+  EliminatingCsStackAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Stack(Threads, Capacity, /*SlotCount=*/Threads > 2 ? Threads / 2 : 1,
+              /*SpinBudget=*/64) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  std::uint64_t exchanges() const {
+    return Stack.eliminationExchangesForTesting();
+  }
+  EliminatingContentionSensitiveStack<> Stack;
+};
+
+/// Figure 3 fast path over the flat-combining slow path
+/// (perf/CombiningSlowPath.h).
+struct CombiningStackAdapter {
+  static constexpr const char *Name = "combining(fig3+fc)";
+  CombiningStackAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Stack(Threads, Capacity) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  std::uint64_t batches() { return Stack.skeleton().batchesForTesting(); }
+  std::uint64_t combinedOps() {
+    return Stack.skeleton().combinedOpsForTesting();
+  }
+  CombiningStack<> Stack;
+};
+
+/// Four Figure 3 shards behind a bag facade with elimination balancing
+/// (perf/ShardedStack.h).
+struct ShardedStackAdapter {
+  static constexpr const char *Name = "sharded(4xfig3)";
+  ShardedStackAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Stack(Threads, Capacity - Capacity % 4,
+              /*SlotCount=*/Threads > 2 ? Threads / 2 : 1,
+              /*SpinBudget=*/64) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  std::uint64_t exchanges() const {
+    return Stack.eliminationExchangesForTesting();
+  }
+  ShardedStack<4> Stack;
 };
 
 /// Crash-tolerant Figure 3 (core/CrashTolerantStack.h): leased lock,

@@ -113,6 +113,33 @@ int main() {
            countAccesses([&] { (void)Counter.add(0, 1); }));
   }
 
+  // --- Acceleration layer (src/perf/): the solo bound must survive --------
+  // The rescue/combining/sharding machinery only engages after the
+  // Figure 3 fast path fails, so every solo row must match fig3 exactly.
+  {
+    EliminatingContentionSensitiveStack<> Stack(4, 8);
+    addRow(Table, "eliminating stack (fig3+elim)", "strong_push -> done",
+           countAccesses([&] { (void)Stack.push(0, 1); }));
+    addRow(Table, "eliminating stack (fig3+elim)", "strong_pop -> value",
+           countAccesses([&] { (void)Stack.pop(0); }));
+    addRow(Table, "eliminating stack (fig3+elim)", "strong_pop -> empty",
+           countAccesses([&] { (void)Stack.pop(0); }));
+  }
+  {
+    CombiningStack<> Stack(4, 8);
+    addRow(Table, "combining stack (fig3+fc)", "strong_push -> done",
+           countAccesses([&] { (void)Stack.push(0, 1); }));
+    addRow(Table, "combining stack (fig3+fc)", "strong_pop -> value",
+           countAccesses([&] { (void)Stack.pop(0); }));
+  }
+  {
+    ShardedStack<4> Stack(4, 8);
+    addRow(Table, "sharded stack (4xfig3)", "strong_push -> done",
+           countAccesses([&] { (void)Stack.push(0, 1); }));
+    addRow(Table, "sharded stack (4xfig3)", "strong_pop -> value",
+           countAccesses([&] { (void)Stack.pop(0); }));
+  }
+
   // --- Baselines for context ----------------------------------------------
   {
     TreiberStack Stack(8);

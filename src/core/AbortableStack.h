@@ -133,6 +133,20 @@ public:
   /// The paper's k.
   std::uint32_t capacity() const { return K; }
 
+  /// One instrumented acquire read of TOP, decoded. The acceleration
+  /// layer (perf/) uses this as a not-full / not-empty witness: a single
+  /// read taken inside both operations' intervals justifies linearizing
+  /// an eliminated push/pop pair back-to-back at that instant.
+  TopFields<Value> readTop() const { return TopC::unpack(readTopWord()); }
+
+  /// The raw packed TOP word via one instrumented acquire read. Two
+  /// equal reads with no successful operation in between (the word
+  /// carries the seq number) give the stable-snapshot certificate the
+  /// sharded stack's all-full / all-empty double collect relies on.
+  typename TopC::Word readTopWord() const {
+    return Top.read(std::memory_order_acquire);
+  }
+
   /// Number of elements currently on the stack. Inherently racy under
   /// concurrency; exact when quiescent. Uninstrumented (test/debug aid).
   std::uint32_t sizeForTesting() const {

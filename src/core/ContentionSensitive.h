@@ -100,6 +100,50 @@ public:
       if (auto Res = WeakOp())               // line 02
         return *Res;
     }
+    return slowApply(Tid, WeakOp);           // lines 04-13
+  }
+
+  /// strongApply with an acceleration window between the paper's
+  /// shortcut and the doorway: when the fast path fails (CONTENTION was
+  /// raised, or the weak attempt aborted), \p Rescue gets one chance to
+  /// finish the operation without competing for the lock — e.g. by
+  /// pairing with an inverse operation in an elimination array. Rescue
+  /// returns the same optional as WeakOp; nullopt falls through to the
+  /// unchanged lines 04-13. The contention-free execution is untouched
+  /// (one CONTENTION read plus one weak attempt, Rescue never invoked),
+  /// so the 6-shared-access solo bound of the stack is preserved.
+  /// Starvation-freedom is preserved too: Rescue is attempted exactly
+  /// once, so every operation still reaches the doorway after a bounded
+  /// number of its own steps (Lemmas 1-3 apply verbatim).
+  template <typename WeakOpFn, typename RescueFn>
+  auto strongApplyWithRescue(std::uint32_t Tid, WeakOpFn WeakOp,
+                             RescueFn Rescue)
+      -> typename std::invoke_result_t<WeakOpFn>::value_type {
+    assert(Tid < N && "thread id out of range");
+    if (Contention.value().read(std::memory_order_acquire) == 0) { // line 01
+      if (auto Res = WeakOp())               // line 02
+        return *Res;
+    }
+    if (auto Res = Rescue())                 // acceleration window
+      return *Res;
+    return slowApply(Tid, WeakOp);           // lines 04-13
+  }
+
+  std::uint32_t numThreads() const { return N; }
+
+  /// Whether the slow path currently holds the object (test/debug aid).
+  bool contentionForTesting() const {
+    return Contention.value().peekForTesting() != 0;
+  }
+
+  /// The doorway (exposed for fairness tests).
+  RoundRobinArbiterT<Policy> &arbiter() { return Arbiter; }
+
+private:
+  /// Lines 04-13: the doorway, the lock, and the protected retry.
+  template <typename WeakOpFn>
+  auto slowApply(std::uint32_t Tid, WeakOpFn &WeakOp)
+      -> typename std::invoke_result_t<WeakOpFn>::value_type {
     Arbiter.enter(Tid);                      // lines 04-05
     Guard.lock(Tid);                         // line 06
     Contention.value().write(1, std::memory_order_release); // line 07
@@ -116,17 +160,6 @@ public:
     return *Res;                             // line 13
   }
 
-  std::uint32_t numThreads() const { return N; }
-
-  /// Whether the slow path currently holds the object (test/debug aid).
-  bool contentionForTesting() const {
-    return Contention.value().peekForTesting() != 0;
-  }
-
-  /// The doorway (exposed for fairness tests).
-  RoundRobinArbiterT<Policy> &arbiter() { return Arbiter; }
-
-private:
   const std::uint32_t N;
   CacheLinePadded<AtomicRegister<std::uint8_t, Policy>> Contention;
   RoundRobinArbiterT<Policy> Arbiter;

@@ -45,8 +45,11 @@ private:
   AtomicRegister<std::uint64_t> Register{0};
 };
 
-/// Starvation-free strong counter via the Figure 3 skeleton.
-template <typename Lock = TasLock>
+/// Starvation-free strong counter via the Figure 3 skeleton. \p SkeletonT
+/// defaults to Figure 3; the flat-combining skeleton plugs in the same
+/// way (perf/CombiningSlowPath.h).
+template <typename Lock = TasLock,
+          typename SkeletonT = ContentionSensitive<Lock>>
 class ContentionSensitiveCounter {
 public:
   explicit ContentionSensitiveCounter(std::uint32_t NumThreads)
@@ -65,7 +68,7 @@ public:
 
 private:
   AbortableCounter Weak;
-  ContentionSensitive<Lock> Strong;
+  SkeletonT Strong;
 };
 
 } // namespace csobj

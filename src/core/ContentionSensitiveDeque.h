@@ -28,8 +28,11 @@
 
 namespace csobj {
 
-/// Starvation-free contention-sensitive double-ended queue.
-template <typename Lock = TasLock>
+/// Starvation-free contention-sensitive double-ended queue. \p SkeletonT
+/// defaults to the paper's Figure 3 skeleton; the flat-combining skeleton
+/// (perf/CombiningSlowPath.h) plugs in the same way.
+template <typename Lock = TasLock,
+          typename SkeletonT = ContentionSensitive<Lock>>
 class ContentionSensitiveDeque {
 public:
   using Value = ObstructionFreeDeque::Value;
@@ -79,7 +82,7 @@ private:
   }
 
   ObstructionFreeDeque Weak;
-  ContentionSensitive<Lock> Strong;
+  SkeletonT Strong;
 };
 
 } // namespace csobj

@@ -26,10 +26,13 @@
 
 namespace csobj {
 
-/// Starvation-free contention-sensitive bounded FIFO queue.
+/// Starvation-free contention-sensitive bounded FIFO queue. \p SkeletonT
+/// defaults to the paper's Figure 3 skeleton; the flat-combining skeleton
+/// (perf/CombiningSlowPath.h) plugs in the same way.
 template <typename Config = Compact64, typename Lock = TasLock,
           ContentionManager Manager = NoBackoff,
-          typename Policy = DefaultRegisterPolicy>
+          typename Policy = DefaultRegisterPolicy,
+          typename SkeletonT = ContentionSensitive<Lock, Manager, Policy>>
 class ContentionSensitiveQueue {
 public:
   using Value = typename Config::Value;
@@ -64,11 +67,11 @@ public:
   std::uint32_t sizeForTesting() const { return Weak.sizeForTesting(); }
 
   AbortableQueue<Config, Policy> &abortable() { return Weak; }
-  ContentionSensitive<Lock, Manager, Policy> &skeleton() { return Strong; }
+  SkeletonT &skeleton() { return Strong; }
 
 private:
   AbortableQueue<Config, Policy> Weak;
-  ContentionSensitive<Lock, Manager, Policy> Strong;
+  SkeletonT Strong;
 };
 
 } // namespace csobj

@@ -34,13 +34,18 @@ namespace csobj {
 
 /// Figure 3 over Figure 1: starvation-free contention-sensitive stack.
 ///
-/// \tparam Config  codec family (Compact64 / Wide128).
-/// \tparam Lock    deadlock-free lock used on the contended path.
-/// \tparam Manager ContentionManager pacing the lock-protected retry.
-/// \tparam Policy  register policy (Instrumented / Fast).
+/// \tparam Config   codec family (Compact64 / Wide128).
+/// \tparam Lock     deadlock-free lock used on the contended path.
+/// \tparam Manager  ContentionManager pacing the lock-protected retry.
+/// \tparam Policy   register policy (Instrumented / Fast).
+/// \tparam SkeletonT the strong-operation skeleton. The default is the
+///         paper's Figure 3; any type with the same constructor and
+///         strongApply contract plugs in (e.g. the flat-combining
+///         skeleton in perf/CombiningSlowPath.h).
 template <typename Config = Compact64, typename Lock = TasLock,
           ContentionManager Manager = NoBackoff,
-          typename Policy = DefaultRegisterPolicy>
+          typename Policy = DefaultRegisterPolicy,
+          typename SkeletonT = ContentionSensitive<Lock, Manager, Policy>>
 class ContentionSensitiveStack {
 public:
   using Value = typename Config::Value;
@@ -79,12 +84,12 @@ public:
   /// The underlying Figure 1 object (test/debug aid).
   AbortableStack<Config, Policy> &abortable() { return Weak; }
 
-  /// The Figure 3 skeleton (test/debug aid).
-  ContentionSensitive<Lock, Manager, Policy> &skeleton() { return Strong; }
+  /// The strong-operation skeleton (test/debug aid).
+  SkeletonT &skeleton() { return Strong; }
 
 private:
   AbortableStack<Config, Policy> Weak;
-  ContentionSensitive<Lock, Manager, Policy> Strong;
+  SkeletonT Strong;
 };
 
 } // namespace csobj

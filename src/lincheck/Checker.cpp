@@ -6,6 +6,8 @@
 
 #include "lincheck/Spec.h"
 
+#include <algorithm>
+
 namespace csobj {
 
 bool BoundedStackSpec::apply(const Operation &Op) {
@@ -129,6 +131,37 @@ std::string LinearDequeSpec::key() const {
   std::string Key;
   Key.reserve(Contents.size() * 4 + 4);
   Key.append(reinterpret_cast<const char *>(&LeftFree), sizeof(LeftFree));
+  for (std::uint32_t V : Contents)
+    Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
+  return Key;
+}
+
+bool BoundedBagSpec::apply(const Operation &Op) {
+  if (Op.Code == OpCode::Push) {
+    if (Op.Result == ResCode::Done) {
+      if (Contents.size() >= Capacity)
+        return false;
+      Contents.insert(
+          std::lower_bound(Contents.begin(), Contents.end(), Op.Arg),
+          Op.Arg);
+      return true;
+    }
+    return Op.Result == ResCode::Full && Contents.size() == Capacity;
+  }
+  if (Op.Result == ResCode::Value) {
+    const auto It =
+        std::lower_bound(Contents.begin(), Contents.end(), Op.RetValue);
+    if (It == Contents.end() || *It != Op.RetValue)
+      return false;
+    Contents.erase(It);
+    return true;
+  }
+  return Op.Result == ResCode::Empty && Contents.empty();
+}
+
+std::string BoundedBagSpec::key() const {
+  std::string Key;
+  Key.reserve(Contents.size() * 4);
   for (std::uint32_t V : Contents)
     Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
   return Key;

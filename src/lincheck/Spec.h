@@ -84,6 +84,24 @@ private:
   std::deque<std::uint32_t> Contents;
 };
 
+/// Sequential bounded *bag* (pool): pop returns some pushed-but-unpopped
+/// element, with no ordering constraint. This is the specification of
+/// the sharded stack (perf/ShardedStack.h), whose pops follow per-shard
+/// LIFO order but not a global one. State = sorted multiset, which is
+/// also its canonical memo key.
+class BoundedBagSpec {
+public:
+  explicit BoundedBagSpec(std::uint32_t Capacity) : Capacity(Capacity) {}
+
+  bool apply(const Operation &Op);
+  std::string key() const;
+  std::size_t size() const { return Contents.size(); }
+
+private:
+  std::uint32_t Capacity;
+  std::vector<std::uint32_t> Contents; // kept sorted
+};
+
 /// Sequential bounded FIFO queue.
 class BoundedQueueSpec {
 public:

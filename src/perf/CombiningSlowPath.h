@@ -1,0 +1,206 @@
+//===- perf/CombiningSlowPath.h - Flat-combining slow path ------*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A drop-in alternative to the Figure 3 skeleton that replaces the
+/// doorway + lock slow path with flat combining (Hendler, Incze, Shavit
+/// & Tzafrir, SPAA'10): contended operations publish a request record;
+/// one thread — the combiner — wins a dedicated C&S word and executes
+/// the whole batch serially, so a batch of b contended operations costs
+/// one combiner handoff instead of b doorway/lock handoffs, and the
+/// cache lines of the object stay resident in one core's cache while the
+/// batch runs.
+///
+/// The fast path is byte-identical to Figure 3 lines 01-03: one acquire
+/// read of CONTENTION, one weak attempt. A contention-free stack
+/// operation therefore still performs exactly six shared-memory
+/// accesses — the whole point of the paper's construction — and the
+/// conformance battery's access bounds enforce it.
+///
+/// Publication protocol (per thread, one cache-line-aligned Record):
+///  * publish: write Req (pointer to a stack-allocated request holding a
+///    reference to the weak op and an out-slot) and Run (a type-erasing
+///    trampoline), then State <- Pending with release. The publisher
+///    blocks until State == Ready, so the stack-allocated request
+///    outlives every combiner access.
+///  * wait/combine: while Pending, try to win CombinerBusy with one C&S;
+///    the winner raises CONTENTION (diverting fast-path newcomers into
+///    publication, like Figure 3 line 07), sweeps all records for a
+///    bounded number of rounds running each Pending request once per
+///    round (requests can still abort against stragglers that read
+///    CONTENTION == 0 before it was raised), finishes its OWN request to
+///    completion with ContentionManager pacing (same unbounded-retry
+///    argument as Figure 3 line 08: once CONTENTION is up, interfering
+///    fast paths abort into the publication list, so interference is
+///    transient), lowers CONTENTION, and releases CombinerBusy.
+///  * complete: the combiner stores the result through the request and
+///    State <- Ready with release; the publisher's acquire read of Ready
+///    makes the result visible. The plain (non-atomic) Req/Run/Out
+///    fields are always separated by this State acquire/release
+///    handshake, so the protocol is TSan-clean.
+///
+/// Progress: deadlock-free, not starvation-free — a specific publisher
+/// can in principle lose the CombinerBusy C&S forever while others are
+/// served. This deliberately sits between Figure 3 (starvation-free) and
+/// the bare weak object (obstruction-free) on the progress-downgrade
+/// lattice; the battery runs it under stall plans but not crash sweeps
+/// (a killed combiner strands its waiters — see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_PERF_COMBININGSLOWPATH_H
+#define CSOBJ_PERF_COMBININGSLOWPATH_H
+
+#include "memory/AtomicRegister.h"
+#include "support/CacheLine.h"
+#include "support/ContentionManager.h"
+#include "support/SpinWait.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace csobj {
+
+/// Flat-combining strong-operation skeleton. Same constructor and
+/// strongApply contract as ContentionSensitive, so every wrapper object
+/// (stack, queue, deque, counter) accepts it as SkeletonT.
+template <ContentionManager Manager = NoBackoff,
+          typename Policy = DefaultRegisterPolicy>
+class CombiningContentionSensitive {
+public:
+  using RegisterPolicy = Policy;
+
+  /// \p NumThreads is the paper's n. \p CombineRounds is how many sweeps
+  /// over the publication list a combiner performs before retiring.
+  explicit CombiningContentionSensitive(std::uint32_t NumThreads,
+                                        std::uint32_t CombineRounds = 2)
+      : N(NumThreads), Rounds(CombineRounds), Records(new Record[NumThreads]) {
+    assert(NumThreads >= 1 && "need at least one process");
+    assert(CombineRounds >= 1 && "combiner must sweep at least once");
+  }
+
+  /// strong_push_or_pop(par), flat-combining flavour. Same contract as
+  /// ContentionSensitive::strongApply: \p WeakOp returns std::optional,
+  /// nullopt meaning the attempt aborted with no effect.
+  template <typename WeakOpFn>
+  auto strongApply(std::uint32_t Tid, WeakOpFn WeakOp)
+      -> typename std::invoke_result_t<WeakOpFn>::value_type {
+    using Result = typename std::invoke_result_t<WeakOpFn>::value_type;
+    assert(Tid < N && "thread id out of range");
+    if (Contention.value().read(std::memory_order_acquire) == 0) { // line 01
+      if (auto Res = WeakOp())               // line 02
+        return *Res;
+    }
+
+    // Publish, then wait-or-combine.
+    CombineRequest<WeakOpFn, Result> Req{WeakOp, std::nullopt};
+    Record &Mine = Records[Tid];
+    Mine.Req = &Req;
+    Mine.Run = &CombineRequest<WeakOpFn, Result>::run;
+    Mine.State.write(Pending, std::memory_order_release);
+
+    SpinWait Waiter;
+    while (Mine.State.read(std::memory_order_acquire) == Pending) {
+      if (CombinerBusy.value().compareAndSwap(0, 1,
+                                              std::memory_order_acq_rel)) {
+        combine(Tid);
+        CombinerBusy.value().write(0, std::memory_order_release);
+        continue; // re-check State: the combiner always finishes its own.
+      }
+      Waiter.once();
+    }
+    Mine.State.write(EmptyRec, std::memory_order_release);
+    return *Req.Out;
+  }
+
+  std::uint32_t numThreads() const { return N; }
+
+  bool contentionForTesting() const {
+    return Contention.value().peekForTesting() != 0;
+  }
+
+  /// Completed combiner tenures / operations completed by combiners
+  /// (self included). Plain relaxed atomics: stats must not perturb
+  /// schedules or access counts.
+  std::uint64_t batchesForTesting() const {
+    return Batches.load(std::memory_order_relaxed);
+  }
+  std::uint64_t combinedOpsForTesting() const {
+    return CombinedOps.load(std::memory_order_relaxed);
+  }
+
+  /// One publication record. Cache-line-aligned so a publisher storing
+  /// Pending never invalidates a neighbour's line; exposed for the
+  /// false-sharing regression test.
+  struct alignas(CacheLineSize) Record {
+    AtomicRegister<std::uint8_t, Policy> State{};
+    void *Req = nullptr;
+    bool (*Run)(void *) = nullptr;
+  };
+
+private:
+  enum : std::uint8_t { EmptyRec = 0, Pending = 1, Ready = 2 };
+
+  /// Type-erased request: lives on the publisher's stack; the publisher
+  /// spins until Ready, so the combiner's accesses never dangle.
+  template <typename WeakOpFn, typename Result>
+  struct CombineRequest {
+    WeakOpFn &Op;
+    std::optional<Result> Out;
+
+    static bool run(void *P) {
+      auto *R = static_cast<CombineRequest *>(P);
+      if (auto Res = R->Op()) {
+        R->Out = *Res;
+        return true;
+      }
+      return false;
+    }
+  };
+
+  /// The combiner's tenure. Caller holds CombinerBusy.
+  void combine(std::uint32_t Tid) {
+    Contention.value().write(1, std::memory_order_release);
+    std::uint64_t Served = 0;
+    for (std::uint32_t Round = 0; Round < Rounds; ++Round)
+      for (std::uint32_t I = 0; I < N; ++I)
+        if (Records[I].State.read(std::memory_order_acquire) == Pending)
+          if (Records[I].Run(Records[I].Req)) {
+            Records[I].State.write(Ready, std::memory_order_release);
+            ++Served;
+          }
+    // The combiner must not retire with its own request unserved (its
+    // publisher loop is this thread). Unbounded retry is sound for the
+    // same reason as Figure 3 line 08: CONTENTION is up.
+    Record &Mine = Records[Tid];
+    if (Mine.State.read(std::memory_order_acquire) == Pending) {
+      Manager Mgr;
+      while (!Mine.Run(Mine.Req))
+        Mgr.onAbort();
+      Mgr.onSuccess();
+      Mine.State.write(Ready, std::memory_order_release);
+      ++Served;
+    }
+    Contention.value().write(0, std::memory_order_release);
+    Batches.fetch_add(1, std::memory_order_relaxed);
+    CombinedOps.fetch_add(Served, std::memory_order_relaxed);
+  }
+
+  const std::uint32_t N;
+  const std::uint32_t Rounds;
+  CacheLinePadded<AtomicRegister<std::uint8_t, Policy>> Contention;
+  CacheLinePadded<AtomicRegister<std::uint8_t, Policy>> CombinerBusy;
+  std::unique_ptr<Record[]> Records;
+  std::atomic<std::uint64_t> Batches{0};
+  std::atomic<std::uint64_t> CombinedOps{0};
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_PERF_COMBININGSLOWPATH_H

@@ -1,0 +1,188 @@
+//===- perf/ShardedStack.h - Sharded Fig. 3 stacks with balancing -*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// N independent Figure 3 stacks (each with its own TOP, CONTENTION,
+/// doorway and lock) behind one push/pop facade, with an elimination
+/// array balancing load between them. Threads start probing at their
+/// home shard (Tid mod N), so at low thread counts each shard behaves
+/// like a solo Figure 3 stack — six shared accesses, no lock — while at
+/// high thread counts contention splits N ways.
+///
+/// Semantics: a *bag* (pool) with capacity k, not a LIFO stack — pops
+/// return some pushed-but-unpopped element (per-shard LIFO order only).
+/// This is the standard trade for sharding; the conformance battery
+/// checks it against BoundedBagSpec, and stress tests check element
+/// conservation. Full/Empty answers remain total and linearizable:
+///
+///  * push returns Full only on an *all-full simultaneous witness*: the
+///    packed TOP words of all shards (each carrying a sequence number
+///    bumped by every successful operation) are collected twice; if the
+///    second collect equals the first word-for-word and every word shows
+///    index == k/N, then no successful operation executed anywhere in
+///    the window, so there is an instant at which every shard — hence
+///    the bag — was full. Eliminated pairs do not bump TOP but are
+///    net-zero (a push immediately consumed by a pop), so they cannot
+///    invalidate the witness. Pop's Empty answer is symmetric.
+///  * a matched elimination pair linearizes push;pop at the matcher's
+///    gate read of the home shard's TOP showing index < k/N — a
+///    bag-not-full witness (see perf/EliminatingStack.h; the argument
+///    carries over verbatim because a bag push only needs "not full").
+///
+/// Progress: each shard operation is starvation-free (Theorem 1 applies
+/// per shard), but the outer probe loop restarts when the double collect
+/// detects movement, so the facade as a whole is only obstruction-free
+/// at the boundary cases — against a storm of successful operations on
+/// other shards, a Full/Empty answer can be deferred indefinitely. In
+/// return, non-boundary operations never help and never wait on other
+/// shards. DESIGN.md places this on the progress-downgrade lattice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_PERF_SHARDEDSTACK_H
+#define CSOBJ_PERF_SHARDEDSTACK_H
+
+#include "core/ContentionSensitiveStack.h"
+#include "perf/EliminationArray.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace csobj {
+
+/// \tparam NumShards number of independent Figure 3 stacks.
+/// Remaining parameters as ContentionSensitiveStack.
+template <std::uint32_t NumShards = 4, typename Config = Compact64,
+          typename Lock = TasLock, ContentionManager Manager = NoBackoff,
+          typename Policy = DefaultRegisterPolicy>
+class ShardedStack {
+public:
+  using Shard = ContentionSensitiveStack<Config, Lock, Manager, Policy>;
+  using Value = typename Config::Value;
+  using RegisterPolicy = Policy;
+
+  static_assert(NumShards >= 1, "need at least one shard");
+  static_assert(sizeof(Value) <= sizeof(std::uint32_t),
+                "elimination slots carry 32-bit payloads");
+
+  /// \p TotalCapacity must divide evenly across the shards.
+  ShardedStack(std::uint32_t NumThreads, std::uint32_t TotalCapacity,
+               std::uint32_t SlotCount = 4, std::uint32_t SpinBudget = 64)
+      : PerShard(TotalCapacity / NumShards), Elim(SlotCount, SpinBudget) {
+    assert(TotalCapacity % NumShards == 0 &&
+           "capacity must divide evenly across shards");
+    assert(PerShard >= 1 && "each shard needs capacity");
+    for (std::uint32_t S = 0; S < NumShards; ++S)
+      Shards[S].emplace(NumThreads, PerShard);
+  }
+
+  /// Bag push: Done, or Full on an all-full simultaneous witness.
+  PushResult push(std::uint32_t Tid, Value V) {
+    const std::uint32_t Home = Tid % NumShards;
+    while (true) {
+      for (std::uint32_t I = 0; I < NumShards; ++I)
+        if (shard((Home + I) % NumShards).push(Tid, V) == PushResult::Done)
+          return PushResult::Done;
+      // Every shard answered Full at its own instant. Before certifying,
+      // try handing the value to a concurrent pop.
+      if (Elim.tryGive(static_cast<std::uint32_t>(V), slotHint(Tid),
+                       notFullGate(Home)))
+        return PushResult::Done;
+      if (allShardsStable(/*WantFull=*/true))
+        return PushResult::Full;
+      // Movement detected: some shard had (or freed) room — re-probe.
+    }
+  }
+
+  /// Bag pop: some element, or Empty on an all-empty simultaneous
+  /// witness.
+  PopResult<Value> pop(std::uint32_t Tid) {
+    const std::uint32_t Home = Tid % NumShards;
+    while (true) {
+      for (std::uint32_t I = 0; I < NumShards; ++I) {
+        const PopResult<Value> Res = shard((Home + I) % NumShards).pop(Tid);
+        if (Res.isValue())
+          return Res;
+      }
+      if (auto V = Elim.tryTake(slotHint(Tid), notFullGate(Home)))
+        return PopResult<Value>::value(static_cast<Value>(*V));
+      if (allShardsStable(/*WantFull=*/false))
+        return PopResult<Value>::empty();
+    }
+  }
+
+  std::uint32_t capacity() const { return PerShard * NumShards; }
+  std::uint32_t shardCapacity() const { return PerShard; }
+  static constexpr std::uint32_t shardCount() { return NumShards; }
+  std::uint32_t numThreads() const { return shardAt(0).numThreads(); }
+
+  /// Sum of shard sizes; exact when quiescent (test/debug aid).
+  std::uint32_t sizeForTesting() const {
+    std::uint32_t Total = 0;
+    for (std::uint32_t S = 0; S < NumShards; ++S)
+      Total += shardAt(S).sizeForTesting();
+    return Total;
+  }
+
+  Shard &shard(std::uint32_t S) { return *Shards[S]; }
+  EliminationArrayT<Policy> &eliminationArray() { return Elim; }
+  std::uint64_t eliminationExchangesForTesting() const {
+    return Elim.exchangesForTesting();
+  }
+
+private:
+  const Shard &shardAt(std::uint32_t S) const { return *Shards[S]; }
+
+  /// Bag-not-full gate for the matcher: one instrumented read of the
+  /// home shard's TOP showing room there (conservative — declines when
+  /// the home shard happens to be full even if others are not).
+  auto notFullGate(std::uint32_t Home) {
+    return [this, Home] {
+      return shard(Home).abortable().readTop().Index < PerShard;
+    };
+  }
+
+  /// The double collect: returns true iff all shards were simultaneously
+  /// full (WantFull) / empty (!WantFull) — certified by two equal
+  /// collects of the seq-carrying TOP words (see file comment).
+  bool allShardsStable(bool WantFull) {
+    const std::uint32_t Want = WantFull ? PerShard : 0;
+    std::array<TopWord, NumShards> First;
+    for (std::uint32_t S = 0; S < NumShards; ++S) {
+      const TopWord W = shard(S).abortable().readTopWord();
+      if (decodeIndex(W) != Want)
+        return false;
+      First[S] = W;
+    }
+    for (std::uint32_t S = 0; S < NumShards; ++S)
+      if (shard(S).abortable().readTopWord() != First[S])
+        return false;
+    return true;
+  }
+
+  using TopC = typename AbortableStack<Config, Policy>::TopC;
+  using TopWord = typename TopC::Word;
+
+  static std::uint32_t decodeIndex(TopWord W) {
+    return static_cast<std::uint32_t>(TopC::unpack(W).Index);
+  }
+
+  static std::uint64_t slotHint(std::uint32_t Tid) {
+    static thread_local std::uint64_t Counter = 0;
+    return (static_cast<std::uint64_t>(Tid) << 32) ^ Counter++;
+  }
+
+  const std::uint32_t PerShard;
+  std::array<std::optional<Shard>, NumShards> Shards;
+  EliminationArrayT<Policy> Elim;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_PERF_SHARDEDSTACK_H

@@ -35,6 +35,19 @@ struct alignas(CacheLineSize) CacheLinePadded {
   const T &value() const { return Payload; }
 };
 
+/// True when \p T occupies whole cache lines exclusively: its alignment
+/// keeps it off anyone else's line and its size keeps anyone else off its
+/// lines, so adjacent array elements of T can never false-share. The
+/// false-sharing regression tests static_assert this for every hot word
+/// that sits in a shared array (FLAG entries, elimination slots, combiner
+/// publication records).
+template <typename T>
+inline constexpr bool occupiesWholeCacheLines =
+    alignof(T) >= CacheLineSize && sizeof(T) % CacheLineSize == 0;
+
+static_assert(occupiesWholeCacheLines<CacheLinePadded<char>>,
+              "CacheLinePadded must round its payload up to full lines");
+
 } // namespace csobj
 
 #endif // CSOBJ_SUPPORT_CACHELINE_H

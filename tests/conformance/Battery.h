@@ -63,6 +63,9 @@
 #include "lincheck/Checker.h"
 #include "lincheck/History.h"
 #include "lincheck/Spec.h"
+#include "perf/CombiningObjects.h"
+#include "perf/EliminatingStack.h"
+#include "perf/ShardedStack.h"
 #include "locks/LockTraits.h"
 #include "locks/StarvationFreeLock.h"
 #include "locks/TasLock.h"
@@ -473,6 +476,100 @@ struct CtDequeAdapter {
       ++Seen;
     return Seen;
   }
+};
+
+//===----------------------------------------------------------------------===
+// Acceleration-layer adapters (perf/)
+//===----------------------------------------------------------------------===
+// Tiny elimination arrays (one slot, short spin budget) keep the stress
+// rendezvous rate high and the schedule trees small. All four entries are
+// stall-plan-only: their contended paths hold a lock or the combiner
+// word, so a crash strands waiters by design (see the registry comment).
+
+struct EliminatingCsStackAdapter {
+  using Object = EliminatingContentionSensitiveStack<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity, /*SlotCount=*/1,
+                                    /*SpinBudget=*/8);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.push(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.pop(Tid);
+  }
+  static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
+};
+
+struct CombiningStackAdapter {
+  using Object = CombiningStack<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.push(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.pop(Tid);
+  }
+  static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
+};
+
+struct CombiningQueueAdapter {
+  using Object = CombiningQueue<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.enqueue(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.dequeue(Tid);
+  }
+  static BoundedQueueSpec makeSpec() { return BoundedQueueSpec(SmallCapacity); }
+};
+
+struct CombiningDequeAdapter {
+  using Object = CombiningDeque;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads) {
+    return std::make_unique<Object>(Threads, SmallCapacity, SmallLeftSlots);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, bool Left,
+                         std::uint32_t V) {
+    return Left ? O.pushLeft(Tid, V) : O.pushRight(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid,
+                                      bool Left) {
+    return Left ? O.popLeft(Tid) : O.popRight(Tid);
+  }
+  static LinearDequeSpec makeSpec() {
+    return LinearDequeSpec(SmallCapacity, SmallLeftSlots);
+  }
+};
+
+struct ShardedStackAdapter {
+  using Object = ShardedStack<2>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity, /*SlotCount=*/1,
+                                    /*SpinBudget=*/8);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.push(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.pop(Tid);
+  }
+  /// A bag, not a stack: pops return some element (per-shard LIFO only).
+  static BoundedBagSpec makeSpec() { return BoundedBagSpec(SmallCapacity); }
 };
 
 //===----------------------------------------------------------------------===
@@ -1341,6 +1438,111 @@ inline void counterAccessBoundCell() {
 }
 
 //===----------------------------------------------------------------------===
+// Spec point: an eliminated pair linearizes back-to-back, off TOP
+//===----------------------------------------------------------------------===
+
+/// The acceleration layer's headline claim, pinned by a directed
+/// schedule: when a push and a pop meet in the elimination array, the
+/// pair linearizes as push immediately followed by pop at the matcher's
+/// gate read, the pop returns exactly the pushed value, and TOP is never
+/// touched (its <index, value, seqnb> triple is bit-identical before and
+/// after). forceRescueForTesting routes both operations through the
+/// rendezvous first so the slot accesses are the leading accesses and
+/// the schedule below is exact: the popper gets two accesses (slot read,
+/// park C&S), then the pusher runs to completion (slot read sees the
+/// parked taker, gate read of TOP, match C&S), then the popper drains.
+inline void eliminationPairSpecPoint() {
+  using Stack = EliminatingContentionSensitiveStack<>;
+  {
+    Stack S(2, SmallCapacity, /*SlotCount=*/1, /*SpinBudget=*/8);
+    ASSERT_EQ(S.push(0, 3), PushResult::Done); // seed: TOP = <1, 3, _>
+    S.forceRescueForTesting(true);
+    const auto Before = S.abortable().topForTesting();
+
+    std::optional<PushResult> PushRes;
+    std::optional<PopResult<std::uint32_t>> PopRes;
+    std::uint32_t PopGrants = 0;
+    InterleaveScheduler Scheduler(2);
+    Scheduler.run(
+        {[&] { PushRes = S.push(0, 7); }, [&] { PopRes = S.pop(1); }},
+        [&](std::size_t, const std::vector<std::uint32_t> &Parked)
+            -> std::uint32_t {
+          const bool HasPush =
+              std::find(Parked.begin(), Parked.end(), 0u) != Parked.end();
+          const bool HasPop =
+              std::find(Parked.begin(), Parked.end(), 1u) != Parked.end();
+          if (PopGrants < 2 && HasPop) {
+            ++PopGrants;
+            return 1;
+          }
+          if (HasPush)
+            return 0;
+          return Parked.front();
+        });
+
+    ASSERT_TRUE(PushRes.has_value());
+    EXPECT_EQ(*PushRes, PushResult::Done);
+    ASSERT_TRUE(PopRes.has_value());
+    ASSERT_TRUE(PopRes->isValue());
+    EXPECT_EQ(PopRes->value(), 7u) << "pop must return the eliminated value";
+    // Both operations finished via the rendezvous (the counter counts
+    // operations, so a matched pair contributes two).
+    EXPECT_EQ(S.eliminationExchangesForTesting(), 2u);
+    const auto After = S.abortable().topForTesting();
+    EXPECT_EQ(After.Index, Before.Index) << "eliminated pair touched TOP";
+    EXPECT_EQ(After.Value, Before.Value) << "eliminated pair touched TOP";
+    EXPECT_EQ(After.Seq, Before.Seq) << "eliminated pair touched TOP";
+    EXPECT_EQ(S.sizeForTesting(), 1u);
+  }
+
+  // The same rendezvous under unconstrained random walks: every walk
+  // stays linearizable and a healthy fraction eliminates.
+  std::uint64_t TotalExchanges = 0;
+  const auto Factory = [&TotalExchanges] {
+    auto Obj = std::make_shared<Stack>(2, SmallCapacity, /*SlotCount=*/1,
+                                       /*SpinBudget=*/8);
+    Obj->forceRescueForTesting(true);
+    auto Recs = std::make_shared<std::vector<HistoryRecorder>>();
+    Recs->emplace_back(0);
+    Recs->emplace_back(1);
+    auto Aborted = std::make_shared<std::uint32_t>(0);
+    ScenarioRun Run;
+    Run.Bodies.push_back([Obj, Recs, Aborted] {
+      const std::uint64_t T0 = HistoryRecorder::now();
+      const PushResult R = Obj->push(0, 7);
+      const std::uint64_t T1 = HistoryRecorder::now();
+      if (R == PushResult::Abort)
+        ++*Aborted;
+      else
+        (*Recs)[0].recordPush(7, R == PushResult::Full, T0, T1);
+    });
+    Run.Bodies.push_back([Obj, Recs, Aborted] {
+      const std::uint64_t T0 = HistoryRecorder::now();
+      const PopResult<std::uint32_t> R = Obj->pop(1);
+      const std::uint64_t T1 = HistoryRecorder::now();
+      if (R.isAbort())
+        ++*Aborted;
+      else if (R.isValue())
+        (*Recs)[1].recordPopValue(R.value(), T0, T1);
+      else
+        (*Recs)[1].recordPopEmpty(T0, T1);
+    });
+    Run.PostCheck = [Obj, Recs, Aborted, &TotalExchanges] {
+      TotalExchanges += Obj->eliminationExchangesForTesting();
+      drainAndCheck<EliminatingCsStackAdapter>(*Obj, *Recs, *Aborted);
+    };
+    return Run;
+  };
+  ScheduleExplorer Explorer;
+  const ExploreResult R =
+      Explorer.randomWalks(Factory, RandomWalkRuns, 0xE71Aull);
+  EXPECT_GT(R.Runs, 0u);
+  EXPECT_EQ(R.CappedRuns, 0u);
+  EXPECT_GT(TotalExchanges, 0u)
+      << "no random walk ever eliminated a pair";
+}
+
+//===----------------------------------------------------------------------===
 // Registry
 //===----------------------------------------------------------------------===
 
@@ -1491,6 +1693,30 @@ inline const std::vector<BatteryEntry> &batteryRegistry() {
         [] { crashTolerantSweepCell<CtDequeAdapter>(); }));
     // Counter.
     R.push_back(counterEntry());
+    // Acceleration layer (perf/). All stall-plan-only: the eliminating
+    // and sharded stacks fall back to Figure 3 lock paths, and a killed
+    // combiner strands its publication list (DESIGN.md, "Acceleration
+    // layer").
+    {
+      BatteryEntry E = pushPopEntry<EliminatingCsStackAdapter>(
+          "eliminating-stack", {}, /*Exhaustive=*/false,
+          AccessBounds{6, 6, true});
+      const auto Base = std::move(E.Explore);
+      E.Explore = [Base] {
+        Base();
+        eliminationPairSpecPoint();
+      };
+      R.push_back(std::move(E));
+    }
+    R.push_back(pushPopEntry<CombiningStackAdapter>(
+        "combining-stack", {}, /*Exhaustive=*/false, AccessBounds{6, 6, true}));
+    R.push_back(pushPopEntry<CombiningQueueAdapter>(
+        "combining-queue", {}, /*Exhaustive=*/false, AccessBounds{7, 7, true}));
+    R.push_back(dequeEntry<CombiningDequeAdapter>(
+        "combining-deque", {}, /*Exhaustive=*/false,
+        AccessBounds{24, 24, false}));
+    R.push_back(pushPopEntry<ShardedStackAdapter>(
+        "sharded-stack", {}, /*Exhaustive=*/false, AccessBounds{6, 6, true}));
     return R;
   }();
   return Registry;

@@ -1,0 +1,319 @@
+//===- tests/perf_test.cpp - Acceleration layer unit tests ---------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for src/perf/ beyond what the conformance battery covers:
+// the elimination slot machine driven through directed schedules, the
+// flat-combining publication protocol, the sharded stack's boundary
+// answers, the solo access-count regressions for every accelerated
+// object (the 6-access claim must survive acceleration), and the
+// static false-sharing audit of every new hot word.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/AccessCounter.h"
+#include "perf/CombiningObjects.h"
+#include "perf/EliminatingStack.h"
+#include "perf/EliminationArray.h"
+#include "perf/ShardedStack.h"
+#include "runtime/SpinBarrier.h"
+#include "sched/InterleaveScheduler.h"
+#include "support/CacheLine.h"
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace csobj {
+namespace {
+
+//===----------------------------------------------------------------------===
+// False-sharing audit (satellite of the CacheLinePadded sweep): every hot
+// word the acceleration layer adds must own its cache line(s).
+//===----------------------------------------------------------------------===
+
+static_assert(occupiesWholeCacheLines<EliminationArray::PaddedSlot>,
+              "elimination slots must not share cache lines");
+static_assert(
+    occupiesWholeCacheLines<CombiningContentionSensitive<>::Record>,
+    "combiner publication records must not share cache lines");
+// The skeleton-shared words (CONTENTION, CombinerBusy, the arbiter's TURN
+// and FLAG[] elements) all use CacheLinePadded; pin the predicate on the
+// element type they share.
+static_assert(occupiesWholeCacheLines<CacheLinePadded<
+                  AtomicRegister<std::uint8_t, DefaultRegisterPolicy>>>,
+              "padded register elements must round up to full lines");
+
+TEST(FalseSharing, AdjacentEliminationSlotsAreLineDisjoint) {
+  EliminationArray A(/*SlotCount=*/4, /*SpinBudget=*/4);
+  // The static_asserts above make adjacent array elements line-disjoint;
+  // double-check the runtime layout of the slot type.
+  EXPECT_EQ(sizeof(EliminationArray::PaddedSlot) % CacheLineSize, 0u);
+  EXPECT_GE(alignof(EliminationArray::PaddedSlot), CacheLineSize);
+}
+
+//===----------------------------------------------------------------------===
+// EliminationArray: the slot machine under directed schedules
+//===----------------------------------------------------------------------===
+
+TEST(EliminationArray, SoloGiveWithdraws) {
+  EliminationArray A(1, /*SpinBudget=*/4);
+  const bool Matched = A.tryGive(7, 0, [] { return true; });
+  EXPECT_FALSE(Matched) << "no partner: the giver must withdraw";
+  EXPECT_EQ(A.exchangesForTesting(), 0u);
+  // The slot is usable again after the withdrawal.
+  EXPECT_FALSE(A.tryTake(0, [] { return true; }).has_value());
+}
+
+TEST(EliminationArray, SoloTakeWithdraws) {
+  EliminationArray A(1, /*SpinBudget=*/4);
+  EXPECT_FALSE(A.tryTake(0, [] { return true; }).has_value());
+  EXPECT_EQ(A.exchangesForTesting(), 0u);
+}
+
+/// Directed rendezvous: the taker parks (slot read + park C&S), then the
+/// giver runs to completion (slot read, gate, match C&S), then the taker
+/// drains the Done slot.
+TEST(EliminationArray, DirectedPairExchanges) {
+  EliminationArray A(1, /*SpinBudget=*/8);
+  bool Gave = false;
+  std::optional<std::uint32_t> Took;
+  std::uint32_t TakerGrants = 0;
+  InterleaveScheduler Scheduler(2);
+  Scheduler.run(
+      {[&] { Gave = A.tryGive(42, 0, [] { return true; }); },
+       [&] { Took = A.tryTake(0, [] { return true; }); }},
+      [&](std::size_t, const std::vector<std::uint32_t> &Parked)
+          -> std::uint32_t {
+        const bool HasGiver =
+            std::find(Parked.begin(), Parked.end(), 0u) != Parked.end();
+        const bool HasTaker =
+            std::find(Parked.begin(), Parked.end(), 1u) != Parked.end();
+        if (TakerGrants < 2 && HasTaker) {
+          ++TakerGrants;
+          return 1;
+        }
+        if (HasGiver)
+          return 0;
+        return Parked.front();
+      });
+  EXPECT_TRUE(Gave);
+  ASSERT_TRUE(Took.has_value());
+  EXPECT_EQ(*Took, 42u);
+  EXPECT_EQ(A.exchangesForTesting(), 2u); // one per matched operation
+}
+
+/// Same schedule, but the matcher's gate declines: no match may happen,
+/// both sides fail, and the slot returns to Empty.
+TEST(EliminationArray, GateDeclineBlocksMatch) {
+  EliminationArray A(1, /*SpinBudget=*/8);
+  bool Gave = true;
+  std::optional<std::uint32_t> Took;
+  std::uint32_t TakerGrants = 0;
+  InterleaveScheduler Scheduler(2);
+  Scheduler.run(
+      {[&] { Gave = A.tryGive(42, 0, [] { return false; }); },
+       [&] { Took = A.tryTake(0, [] { return true; }); }},
+      [&](std::size_t, const std::vector<std::uint32_t> &Parked)
+          -> std::uint32_t {
+        const bool HasGiver =
+            std::find(Parked.begin(), Parked.end(), 0u) != Parked.end();
+        const bool HasTaker =
+            std::find(Parked.begin(), Parked.end(), 1u) != Parked.end();
+        if (TakerGrants < 2 && HasTaker) {
+          ++TakerGrants;
+          return 1;
+        }
+        if (HasGiver)
+          return 0;
+        return Parked.front();
+      });
+  EXPECT_FALSE(Gave) << "gate declined: the give must not match";
+  EXPECT_FALSE(Took.has_value());
+  EXPECT_EQ(A.exchangesForTesting(), 0u);
+  // Slot healthy afterwards.
+  EXPECT_FALSE(A.tryGive(1, 0, [] { return true; }));
+}
+
+//===----------------------------------------------------------------------===
+// Flat combining: publication protocol and batch accounting
+//===----------------------------------------------------------------------===
+
+/// Directed abort-into-combine: T0 is interrupted mid weak push so its
+/// TOP C&S fails, diverting it into the publication list; with nobody
+/// else publishing, T0 wins CombinerBusy and serves itself.
+TEST(Combining, AbortedFastPathBecomesCombiner) {
+  CombiningStack<> S(2, 4);
+  std::optional<PushResult> Res0;
+  std::optional<PushResult> Res1;
+  std::uint32_t Grants0 = 0;
+  InterleaveScheduler Scheduler(2);
+  Scheduler.run(
+      {[&] { Res0 = S.push(0, 1); }, [&] { Res1 = S.push(1, 2); }},
+      [&](std::size_t, const std::vector<std::uint32_t> &Parked)
+          -> std::uint32_t {
+        const bool Has0 =
+            std::find(Parked.begin(), Parked.end(), 0u) != Parked.end();
+        const bool Has1 =
+            std::find(Parked.begin(), Parked.end(), 1u) != Parked.end();
+        // T0: CONTENTION read + the first 4 weak-push accesses, stopping
+        // just before its TOP C&S...
+        if (Grants0 < 5 && Has0) {
+          ++Grants0;
+          return 0;
+        }
+        // ...then T1 pushes to completion, invalidating T0's snapshot...
+        if (Has1)
+          return 1;
+        // ...then T0: failed C&S -> publish -> combine -> done.
+        return Parked.front();
+      });
+  ASSERT_TRUE(Res0.has_value());
+  ASSERT_TRUE(Res1.has_value());
+  EXPECT_EQ(*Res0, PushResult::Done);
+  EXPECT_EQ(*Res1, PushResult::Done);
+  EXPECT_EQ(S.sizeForTesting(), 2u);
+  EXPECT_EQ(S.skeleton().batchesForTesting(), 1u);
+  EXPECT_EQ(S.skeleton().combinedOpsForTesting(), 1u);
+  EXPECT_FALSE(S.skeleton().contentionForTesting())
+      << "combiner must lower CONTENTION before retiring";
+}
+
+/// Counter exact-sum under real threads: unit adds return each value in
+/// {1..total} exactly once regardless of how often combining kicks in.
+TEST(Combining, CounterExactSumUnderThreads) {
+  constexpr std::uint32_t Threads = 4;
+  constexpr std::uint32_t OpsPerThread = 256;
+  CombiningCounter C(Threads);
+  std::vector<std::vector<std::uint64_t>> Returns(Threads);
+  SpinBarrier Barrier(Threads);
+  std::vector<std::thread> Workers;
+  for (std::uint32_t T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Barrier.arriveAndWait();
+      for (std::uint32_t I = 0; I < OpsPerThread; ++I)
+        Returns[T].push_back(C.add(T, 1));
+    });
+  for (auto &W : Workers)
+    W.join();
+
+  std::vector<std::uint64_t> All;
+  for (const auto &Per : Returns)
+    All.insert(All.end(), Per.begin(), Per.end());
+  std::sort(All.begin(), All.end());
+  ASSERT_EQ(All.size(), static_cast<std::size_t>(Threads) * OpsPerThread);
+  for (std::size_t I = 0; I < All.size(); ++I)
+    ASSERT_EQ(All[I], I + 1);
+  EXPECT_EQ(C.valueForTesting(), All.size());
+}
+
+//===----------------------------------------------------------------------===
+// Sharded stack: bag semantics at the boundaries
+//===----------------------------------------------------------------------===
+
+TEST(ShardedStack, SoloFillDrainCrossesBothEdges) {
+  ShardedStack<2> S(2, 4, /*SlotCount=*/1, /*SpinBudget=*/4);
+  EXPECT_EQ(S.capacity(), 4u);
+  EXPECT_EQ(S.shardCapacity(), 2u);
+  for (std::uint32_t V = 1; V <= 4; ++V)
+    EXPECT_EQ(S.push(0, V), PushResult::Done) << "value " << V;
+  EXPECT_EQ(S.sizeForTesting(), 4u);
+  // All shards full: the all-full double collect certifies Full.
+  EXPECT_EQ(S.push(0, 5), PushResult::Full);
+  EXPECT_EQ(S.push(1, 6), PushResult::Full);
+
+  std::vector<std::uint32_t> Popped;
+  for (std::uint32_t I = 0; I < 4; ++I) {
+    const PopResult<std::uint32_t> R = S.pop(0);
+    ASSERT_TRUE(R.isValue());
+    Popped.push_back(R.value());
+  }
+  std::sort(Popped.begin(), Popped.end());
+  EXPECT_EQ(Popped, (std::vector<std::uint32_t>{1, 2, 3, 4}))
+      << "bag conservation: every pushed value popped exactly once";
+  // All shards empty: the all-empty double collect certifies Empty.
+  EXPECT_TRUE(S.pop(0).isEmpty());
+  EXPECT_TRUE(S.pop(1).isEmpty());
+}
+
+TEST(ShardedStack, OverflowSpillsToNeighbourShard) {
+  ShardedStack<2> S(2, 4, 1, 4);
+  // All pushes from thread 0 (home shard 0): the third and fourth must
+  // spill into shard 1.
+  for (std::uint32_t V = 1; V <= 4; ++V)
+    ASSERT_EQ(S.push(0, V), PushResult::Done);
+  EXPECT_EQ(S.shard(0).sizeForTesting(), 2u);
+  EXPECT_EQ(S.shard(1).sizeForTesting(), 2u);
+}
+
+TEST(ShardedStack, StressConservesElements) {
+  constexpr std::uint32_t Threads = 4;
+  constexpr std::uint32_t OpsPerThread = 512;
+  ShardedStack<2> S(Threads, 8, /*SlotCount=*/2, /*SpinBudget=*/16);
+  std::vector<std::int64_t> Balance(Threads, 0);
+  SpinBarrier Barrier(Threads);
+  std::vector<std::thread> Workers;
+  for (std::uint32_t T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Barrier.arriveAndWait();
+      SplitMix64 Rng(0x5AA5ull + T);
+      for (std::uint32_t I = 0; I < OpsPerThread; ++I) {
+        if (Rng.chance(1, 2)) {
+          const std::uint32_t V =
+              static_cast<std::uint32_t>(Rng.below(1u << 16)) + 1;
+          if (S.push(T, V) == PushResult::Done)
+            ++Balance[T];
+        } else {
+          if (S.pop(T).isValue())
+            --Balance[T];
+        }
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  std::int64_t Net = 0;
+  for (const std::int64_t B : Balance)
+    Net += B;
+  ASSERT_GE(Net, 0);
+  EXPECT_EQ(S.sizeForTesting(), static_cast<std::uint32_t>(Net))
+      << "pushes minus pops must equal the residual size";
+}
+
+//===----------------------------------------------------------------------===
+// Solo access-count regressions: acceleration must not tax the fast path
+//===----------------------------------------------------------------------===
+
+TEST(SoloAccessCounts, EliminatingStackStaysAtSix) {
+  EliminatingContentionSensitiveStack<> S(2, 4);
+  EXPECT_EQ(countAccesses([&] { (void)S.push(0, 7); }).total(), 6u);
+  EXPECT_EQ(countAccesses([&] { (void)S.pop(0); }).total(), 6u);
+  // Empty-pop short-circuit: 1 CONTENTION read + 3 weak accesses.
+  EXPECT_EQ(countAccesses([&] { (void)S.pop(0); }).total(), 4u);
+}
+
+TEST(SoloAccessCounts, CombiningObjectsMatchFigureThree) {
+  CombiningStack<> S(2, 4);
+  EXPECT_EQ(countAccesses([&] { (void)S.push(0, 7); }).total(), 6u);
+  EXPECT_EQ(countAccesses([&] { (void)S.pop(0); }).total(), 6u);
+  CombiningQueue<> Q(2, 4);
+  EXPECT_EQ(countAccesses([&] { (void)Q.enqueue(0, 7); }).total(), 7u);
+  EXPECT_EQ(countAccesses([&] { (void)Q.dequeue(0); }).total(), 7u);
+  CombiningCounter C(2);
+  EXPECT_EQ(countAccesses([&] { (void)C.add(0, 1); }).total(), 3u);
+}
+
+TEST(SoloAccessCounts, ShardedStackStaysAtSix) {
+  ShardedStack<2> S(2, 4);
+  EXPECT_EQ(countAccesses([&] { (void)S.push(0, 7); }).total(), 6u);
+  EXPECT_EQ(countAccesses([&] { (void)S.pop(0); }).total(), 6u);
+}
+
+} // namespace
+} // namespace csobj
