@@ -160,6 +160,8 @@ struct CsStackAdapter {
     return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
   }
   void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const { return Stack.lastPath(Tid); }
   ContentionSensitiveStack<> Stack;
 };
 
@@ -204,6 +206,8 @@ struct EliminatingCsStackAdapter {
   std::uint64_t exchanges() const {
     return Stack.eliminationExchangesForTesting();
   }
+  obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const { return Stack.lastPath(Tid); }
   EliminatingContentionSensitiveStack<> Stack;
 };
 
@@ -222,6 +226,8 @@ struct CombiningStackAdapter {
   std::uint64_t combinedOps() {
     return Stack.skeleton().combinedOpsForTesting();
   }
+  obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const { return Stack.lastPath(Tid); }
   CombiningStack<> Stack;
 };
 
@@ -241,6 +247,9 @@ struct ShardedStackAdapter {
   std::uint64_t exchanges() const {
     return Stack.eliminationExchangesForTesting();
   }
+  // No lastPath: one facade op enters several shard skeletons, so a
+  // single terminal path would be ambiguous.
+  obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
   ShardedStack<4> Stack;
 };
 
@@ -260,6 +269,8 @@ struct CrashTolerantStackAdapter {
   }
   void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
   DegradationStats stats() const { return Stack.skeleton().statsForTesting(); }
+  obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const { return Stack.lastPath(Tid); }
   CrashTolerantStack<> Stack;
 };
 
@@ -323,6 +334,8 @@ struct CsQueueAdapter {
                   : fromPop(Queue.dequeue(Tid));
   }
   void prefillOne(std::uint32_t V) { (void)Queue.enqueue(0, V); }
+  obs::PathSnapshot pathSnapshot() const { return Queue.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const { return Queue.lastPath(Tid); }
   ContentionSensitiveQueue<> Queue;
 };
 

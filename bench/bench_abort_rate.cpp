@@ -19,7 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "JsonReporter.h"
+#include "obs/JsonReporter.h"
 
 #include "conformance/Params.h"
 #include "runtime/TablePrinter.h"

@@ -32,7 +32,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "JsonReporter.h"
+#include "obs/JsonReporter.h"
+#include "obs/MetricsJson.h"
 
 #include "runtime/TablePrinter.h"
 
@@ -76,6 +77,8 @@ struct CsStackCell {
     return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
   }
   void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const { return Stack.lastPath(Tid); }
   ContentionSensitiveStack<Compact64, TasLockT<Policy>, Manager, Policy>
       Stack;
 };
@@ -90,10 +93,16 @@ template <template <typename, typename> class Cell, typename Policy,
 void runRow(SweepOutput &Out, const char *Object) {
   for (const std::uint32_t Threads : threadSweep()) {
     // ChaosPermille=0: keep the Instrumented/Fast comparison honest (the
-    // chaos hook is a no-op under Fast).
-    const WorkloadReport R = runCell<Cell<Policy, Manager>>(
-        Threads, /*ThinkNs=*/0, /*PushPercent=*/50, /*Capacity=*/4096,
-        /*ChaosPermille=*/0);
+    // chaos hook is a no-op under Fast). The adapter is built here, not
+    // inside runCell, so its metrics survive the run for reporting.
+    ChaosSettings Chaos;
+    Chaos.YieldPermille = 0;
+    if (const std::optional<ChaosSettings> Env = chaosFromEnv())
+      Chaos = *Env;
+    Cell<Policy, Manager> Adapter(Threads, /*Capacity=*/4096);
+    const WorkloadReport R =
+        runCellOn(Adapter, Threads, Chaos, /*ThinkNs=*/0, /*PushPercent=*/50,
+                  /*Capacity=*/4096);
     const double Throughput = R.throughputOpsPerSec();
     Out.Table.addRow({Object, Policy::Name, Manager::Name,
                       std::to_string(Threads), formatRate(Throughput),
@@ -109,6 +118,8 @@ void runRow(SweepOutput &Out, const char *Object) {
     Out.Json.field("abort_rate", R.abortRate());
     Out.Json.field("mean_retries", R.meanRetries());
     Out.Json.field("mean_latency_ratio", R.meanLatencyRatio());
+    if constexpr (requires { Adapter.pathSnapshot(); })
+      obs::emitPathBreakdown(Out.Json, Adapter.pathSnapshot());
     Out.Json.endRecord();
   }
 }

@@ -25,7 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "JsonReporter.h"
+#include "obs/JsonReporter.h"
 
 #include "runtime/TablePrinter.h"
 

@@ -28,7 +28,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "JsonReporter.h"
+#include "obs/JsonReporter.h"
+#include "obs/MetricsJson.h"
 
 #include "runtime/TablePrinter.h"
 
@@ -53,12 +54,17 @@ struct SweepOutput {
 };
 
 /// Per-adapter acceleration stats, appended to the JSON record when the
-/// adapter exposes them (elimination exchange counts, combiner batches).
+/// adapter exposes them. The path breakdown (obs/MetricsJson.h) is the
+/// preferred channel — it carries combiner_batches/combined_ops along
+/// with the per-path operation counts — so the legacy combiner fields
+/// are only emitted for adapters without a metrics snapshot.
 template <typename AdapterT>
 void emitAccelStats(JsonReporter &Json, AdapterT &Adapter) {
   if constexpr (requires { Adapter.exchanges(); })
     Json.field("elimination_exchanges", Adapter.exchanges());
-  if constexpr (requires { Adapter.batches(); }) {
+  if constexpr (requires { Adapter.pathSnapshot(); }) {
+    obs::emitPathBreakdown(Json, Adapter.pathSnapshot());
+  } else if constexpr (requires { Adapter.batches(); }) {
     Json.field("combiner_batches", Adapter.batches());
     Json.field("combined_ops", Adapter.combinedOps());
   }

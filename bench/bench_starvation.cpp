@@ -31,7 +31,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "JsonReporter.h"
+#include "obs/JsonReporter.h"
 
 #include "conformance/Params.h"
 #include "runtime/TablePrinter.h"

@@ -53,6 +53,7 @@
 #include "locks/RoundRobinArbiter.h"
 #include "locks/TasLock.h"
 #include "memory/AtomicRegister.h"
+#include "obs/PathCounters.h"
 #include "support/CacheLine.h"
 #include "support/ContentionManager.h"
 
@@ -96,9 +97,13 @@ public:
   auto strongApply(std::uint32_t Tid, WeakOpFn WeakOp)
       -> typename std::invoke_result_t<WeakOpFn>::value_type {
     assert(Tid < N && "thread id out of range");
+    Sink.onOp(Tid);
     if (Contention.value().read(std::memory_order_acquire) == 0) { // line 01
-      if (auto Res = WeakOp())               // line 02
+      if (auto Res = WeakOp()) {             // line 02
+        Sink.onPath(Tid, obs::Path::Shortcut);
         return *Res;
+      }
+      Sink.onEvent(Tid, obs::Event::ShortcutAbort);
     }
     return slowApply(Tid, WeakOp);           // lines 04-13
   }
@@ -120,16 +125,27 @@ public:
                              RescueFn Rescue)
       -> typename std::invoke_result_t<WeakOpFn>::value_type {
     assert(Tid < N && "thread id out of range");
+    Sink.onOp(Tid);
     if (Contention.value().read(std::memory_order_acquire) == 0) { // line 01
-      if (auto Res = WeakOp())               // line 02
+      if (auto Res = WeakOp()) {             // line 02
+        Sink.onPath(Tid, obs::Path::Shortcut);
         return *Res;
+      }
+      Sink.onEvent(Tid, obs::Event::ShortcutAbort);
     }
-    if (auto Res = Rescue())                 // acceleration window
+    if (auto Res = Rescue()) {               // acceleration window
+      Sink.onPath(Tid, obs::Path::Eliminated);
       return *Res;
+    }
     return slowApply(Tid, WeakOp);           // lines 04-13
   }
 
   std::uint32_t numThreads() const { return N; }
+
+  /// Path-attributed metrics for this object (obs/PathCounters.h); an
+  /// empty no-op under CSOBJ_NO_METRICS.
+  obs::MetricSink &metrics() const { return Sink; }
+  obs::PathSnapshot pathSnapshot() const { return Sink.snapshot(); }
 
   /// Whether the slow path currently holds the object (test/debug aid).
   bool contentionForTesting() const {
@@ -150,6 +166,7 @@ private:
     Manager Mgr;
     auto Res = WeakOp();                     // line 08 (repeat ... until)
     while (!Res) {
+      Sink.onEvent(Tid, obs::Event::ProtectedRetry);
       Mgr.onAbort();
       Res = WeakOp();
     }
@@ -157,6 +174,7 @@ private:
     Contention.value().write(0, std::memory_order_release); // line 09
     Arbiter.exitAndAdvance(Tid);             // lines 10-11
     Guard.unlock(Tid);                       // line 12
+    Sink.onPath(Tid, obs::Path::Lock);
     return *Res;                             // line 13
   }
 
@@ -164,6 +182,7 @@ private:
   CacheLinePadded<AtomicRegister<std::uint8_t, Policy>> Contention;
   RoundRobinArbiterT<Policy> Arbiter;
   Lock Guard;
+  [[no_unique_address]] mutable obs::MetricSink Sink{N};
 };
 
 /// The paper's Section 4.1 Remark, as code: "If the lock is
@@ -190,25 +209,35 @@ public:
   auto strongApply(std::uint32_t Tid, WeakOpFn WeakOp)
       -> typename std::invoke_result_t<WeakOpFn>::value_type {
     assert(Tid < N && "thread id out of range");
+    Sink.onOp(Tid);
     if (Contention.value().read(std::memory_order_acquire) == 0) { // line 01
-      if (auto Res = WeakOp())               // line 02
+      if (auto Res = WeakOp()) {             // line 02
+        Sink.onPath(Tid, obs::Path::Shortcut);
         return *Res;
+      }
+      Sink.onEvent(Tid, obs::Event::ShortcutAbort);
     }
     Guard.lock(Tid);                         // line 06
     Contention.value().write(1, std::memory_order_release); // line 07
     Manager Mgr;
     auto Res = WeakOp();                     // line 08
     while (!Res) {
+      Sink.onEvent(Tid, obs::Event::ProtectedRetry);
       Mgr.onAbort();
       Res = WeakOp();
     }
     Mgr.onSuccess();
     Contention.value().write(0, std::memory_order_release); // line 09
     Guard.unlock(Tid);                       // line 12
+    Sink.onPath(Tid, obs::Path::Lock);
     return *Res;                             // line 13
   }
 
   std::uint32_t numThreads() const { return N; }
+
+  /// Path-attributed metrics (obs/PathCounters.h).
+  obs::MetricSink &metrics() const { return Sink; }
+  obs::PathSnapshot pathSnapshot() const { return Sink.snapshot(); }
 
   bool contentionForTesting() const {
     return Contention.value().peekForTesting() != 0;
@@ -218,6 +247,7 @@ private:
   const std::uint32_t N;
   CacheLinePadded<AtomicRegister<std::uint8_t, Policy>> Contention;
   StarvationFreeLockT Guard;
+  [[no_unique_address]] mutable obs::MetricSink Sink{N};
 };
 
 } // namespace csobj

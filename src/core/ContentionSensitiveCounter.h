@@ -66,6 +66,12 @@ public:
 
   AbortableCounter &abortable() { return Weak; }
 
+  /// Path-attributed metrics of the skeleton (obs/PathCounters.h).
+  obs::PathSnapshot pathSnapshot() const { return Strong.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const {
+    return Strong.metrics().lastPath(Tid);
+  }
+
 private:
   AbortableCounter Weak;
   SkeletonT Strong;

@@ -58,6 +58,12 @@ public:
   std::uint32_t sizeForTesting() const { return Weak.sizeForTesting(); }
   ObstructionFreeDeque &abortable() { return Weak; }
 
+  /// Path-attributed metrics of the skeleton (obs/PathCounters.h).
+  obs::PathSnapshot pathSnapshot() const { return Strong.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const {
+    return Strong.metrics().lastPath(Tid);
+  }
+
 private:
   template <typename AttemptFn>
   PushResult strongPush(std::uint32_t Tid, AttemptFn Attempt) {

@@ -69,6 +69,12 @@ public:
   AbortableQueue<Config, Policy> &abortable() { return Weak; }
   SkeletonT &skeleton() { return Strong; }
 
+  /// Path-attributed metrics of the skeleton (obs/PathCounters.h).
+  obs::PathSnapshot pathSnapshot() const { return Strong.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const {
+    return Strong.metrics().lastPath(Tid);
+  }
+
 private:
   AbortableQueue<Config, Policy> Weak;
   SkeletonT Strong;

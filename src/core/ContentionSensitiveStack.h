@@ -87,6 +87,12 @@ public:
   /// The strong-operation skeleton (test/debug aid).
   SkeletonT &skeleton() { return Strong; }
 
+  /// Path-attributed metrics of the skeleton (obs/PathCounters.h).
+  obs::PathSnapshot pathSnapshot() const { return Strong.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const {
+    return Strong.metrics().lastPath(Tid);
+  }
+
 private:
   AbortableStack<Config, Policy> Weak;
   SkeletonT Strong;

@@ -52,6 +52,7 @@
 #include "locks/LeasedLock.h"
 #include "locks/RecoverableArbiter.h"
 #include "memory/AtomicRegister.h"
+#include "obs/PathCounters.h"
 #include "support/CacheLine.h"
 #include "support/ContentionManager.h"
 
@@ -121,24 +122,31 @@ public:
   auto strongApply(std::uint32_t Tid, WeakOpFn WeakOp)
       -> typename std::invoke_result_t<WeakOpFn>::value_type {
     assert(Tid < N && "thread id out of range");
+    Sink.onOp(Tid);
     if (Contention.value().read(std::memory_order_acquire) == 0) { // line 01
-      if (auto Res = WeakOp())               // line 02
+      if (auto Res = WeakOp()) {             // line 02
+        Sink.onPath(Tid, obs::Path::Shortcut);
         return *Res;
+      }
+      Sink.onEvent(Tid, obs::Event::ShortcutAbort);
     }
     if (!Arbiter.enterBounded(Tid, Patience)) { // lines 04-05, bounded
       Counters.DoorwayTimeouts.fetch_add(1, std::memory_order_relaxed);
-      return degradedApply(WeakOp);
+      Sink.onEvent(Tid, obs::Event::DoorwayTimeout);
+      return degradedApply(Tid, WeakOp);
     }
     if (Guard.lockBounded(Tid, Patience) !=
         LeaseAcquire::Acquired) {            // line 06, bounded
       Counters.LeaseTimeouts.fetch_add(1, std::memory_order_relaxed);
+      Sink.onEvent(Tid, obs::Event::LeaseTimeout);
       Arbiter.withdraw(Tid);
-      return degradedApply(WeakOp);
+      return degradedApply(Tid, WeakOp);
     }
     Contention.value().write(1, std::memory_order_release); // line 07
     Manager Mgr;
     auto Res = WeakOp();                     // line 08 (repeat ... until)
     while (!Res) {
+      Sink.onEvent(Tid, obs::Event::ProtectedRetry);
       Mgr.onAbort();
       Res = WeakOp();
     }
@@ -147,11 +155,18 @@ public:
     Arbiter.exitAndAdvance(Tid);             // lines 10-11
     Guard.unlock(Tid);                       // line 12
     Counters.ProtectedOps.fetch_add(1, std::memory_order_relaxed);
+    Sink.onPath(Tid, obs::Path::Lock);
     return *Res;                             // line 13
   }
 
   std::uint32_t numThreads() const { return N; }
   std::uint32_t patience() const { return Patience; }
+
+  /// Path-attributed metrics (obs/PathCounters.h). Subsumes the legacy
+  /// DegradationCounters view: Degraded path = Degradations, Lock path =
+  /// ProtectedOps; statsForTesting() is kept for the lock's own tallies.
+  obs::MetricSink &metrics() const { return Sink; }
+  obs::PathSnapshot pathSnapshot() const { return Sink.snapshot(); }
 
   bool contentionForTesting() const {
     return Contention.value().peekForTesting() != 0;
@@ -187,15 +202,17 @@ private:
   /// succeeded, so system-wide progress is preserved even with the lock
   /// dead and the doorway stuck.
   template <typename WeakOpFn>
-  auto degradedApply(WeakOpFn &WeakOp)
+  auto degradedApply(std::uint32_t Tid, WeakOpFn &WeakOp)
       -> typename std::invoke_result_t<WeakOpFn>::value_type {
     Counters.Degradations.fetch_add(1, std::memory_order_relaxed);
     Manager Mgr;
     while (true) {
       if (auto Res = WeakOp()) {
         Mgr.onSuccess();
+        Sink.onPath(Tid, obs::Path::Degraded);
         return *Res;
       }
+      Sink.onEvent(Tid, obs::Event::DegradedRetry);
       Mgr.onAbort();
     }
   }
@@ -207,6 +224,7 @@ private:
   RecoverableArbiterT<Policy> Arbiter;
   LeasedLockT<Policy> Guard;
   mutable DegradationCounters Counters;
+  [[no_unique_address]] mutable obs::MetricSink Sink{N};
 };
 
 } // namespace csobj

@@ -77,6 +77,12 @@ public:
   Skeleton &skeleton() { return Strong; }
   const Skeleton &skeleton() const { return Strong; }
 
+  /// Path-attributed metrics of the skeleton (obs/PathCounters.h).
+  obs::PathSnapshot pathSnapshot() const { return Strong.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const {
+    return Strong.metrics().lastPath(Tid);
+  }
+
 private:
   template <typename AttemptFn>
   PushResult strongPush(std::uint32_t Tid, AttemptFn Attempt) {

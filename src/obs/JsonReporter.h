@@ -1,16 +1,18 @@
-//===- bench/JsonReporter.h - Dependency-free JSON emitter ------*- C++ -*-===//
+//===- obs/JsonReporter.h - Dependency-free JSON emitter --------*- C++ -*-===//
 //
 // Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Minimal JSON writer for benchmark results: an array of flat objects,
-/// one per sweep cell, written to a BENCH_*.json file next to the
-/// binary's table output so plots and regression tooling can consume the
-/// numbers without scraping stdout. No external JSON dependency — the
-/// emitter handles exactly the subset the benches need (string, integer,
-/// finite double, bool) and escapes strings conservatively.
+/// Minimal JSON writer shared by the observability layer and every
+/// benchmark binary: an array of flat objects, one per sweep cell,
+/// written to a BENCH_*.json file next to the binary's table output so
+/// plots and regression tooling can consume the numbers without scraping
+/// stdout. No external JSON dependency — the emitter handles exactly the
+/// subset the callers need (string, integer, finite double, bool) and
+/// escapes strings conservatively; NaN/Inf become null so the file stays
+/// valid JSON. Round-trip coverage lives in tests/json_reporter_test.cpp.
 ///
 /// Usage:
 ///   JsonReporter Json;
@@ -23,8 +25,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef CSOBJ_BENCH_JSONREPORTER_H
-#define CSOBJ_BENCH_JSONREPORTER_H
+#ifndef CSOBJ_OBS_JSONREPORTER_H
+#define CSOBJ_OBS_JSONREPORTER_H
 
 #include <cmath>
 #include <cstdint>
@@ -33,7 +35,7 @@
 #include <string>
 
 namespace csobj {
-namespace bench {
+namespace obs {
 
 /// Accumulates an array of flat JSON objects and writes it to disk.
 class JsonReporter {
@@ -138,7 +140,14 @@ private:
   bool FirstField = true;
 };
 
+} // namespace obs
+
+// The benches predate the observability layer and spell the type
+// csobj::bench::JsonReporter; keep that name as an alias.
+namespace bench {
+using obs::JsonReporter;
 } // namespace bench
+
 } // namespace csobj
 
-#endif // CSOBJ_BENCH_JSONREPORTER_H
+#endif // CSOBJ_OBS_JSONREPORTER_H

@@ -55,6 +55,7 @@
 #define CSOBJ_PERF_COMBININGSLOWPATH_H
 
 #include "memory/AtomicRegister.h"
+#include "obs/PathCounters.h"
 #include "support/CacheLine.h"
 #include "support/ContentionManager.h"
 #include "support/SpinWait.h"
@@ -93,9 +94,13 @@ public:
       -> typename std::invoke_result_t<WeakOpFn>::value_type {
     using Result = typename std::invoke_result_t<WeakOpFn>::value_type;
     assert(Tid < N && "thread id out of range");
+    Sink.onOp(Tid);
     if (Contention.value().read(std::memory_order_acquire) == 0) { // line 01
-      if (auto Res = WeakOp())               // line 02
+      if (auto Res = WeakOp()) {             // line 02
+        Sink.onPath(Tid, obs::Path::Shortcut);
         return *Res;
+      }
+      Sink.onEvent(Tid, obs::Event::ShortcutAbort);
     }
 
     // Publish, then wait-or-combine.
@@ -116,10 +121,15 @@ public:
       Waiter.once();
     }
     Mine.State.write(EmptyRec, std::memory_order_release);
+    Sink.onPath(Tid, obs::Path::Combined);
     return *Req.Out;
   }
 
   std::uint32_t numThreads() const { return N; }
+
+  /// Path-attributed metrics (obs/PathCounters.h).
+  obs::MetricSink &metrics() const { return Sink; }
+  obs::PathSnapshot pathSnapshot() const { return Sink.snapshot(); }
 
   bool contentionForTesting() const {
     return Contention.value().peekForTesting() != 0;
@@ -190,6 +200,8 @@ private:
     Contention.value().write(0, std::memory_order_release);
     Batches.fetch_add(1, std::memory_order_relaxed);
     CombinedOps.fetch_add(Served, std::memory_order_relaxed);
+    Sink.onEvent(Tid, obs::Event::CombinerBatch);
+    Sink.onEvent(Tid, obs::Event::CombinedOp, Served);
   }
 
   const std::uint32_t N;
@@ -199,6 +211,7 @@ private:
   std::unique_ptr<Record[]> Records;
   std::atomic<std::uint64_t> Batches{0};
   std::atomic<std::uint64_t> CombinedOps{0};
+  [[no_unique_address]] mutable obs::MetricSink Sink{N};
 };
 
 } // namespace csobj

@@ -89,13 +89,20 @@ public:
     };
     auto Rescue = [this, Tid, V]() -> std::optional<PushResult> {
       if (Elim.tryGive(static_cast<std::uint32_t>(V), slotHint(Tid),
-                       notFullGate()))
+                       notFullGate())) {
+        Strong.metrics().onEvent(Tid, obs::Event::EliminatedPush);
         return PushResult::Done;
+      }
       return std::nullopt;
     };
     if (ForceRescue) {
-      if (auto Res = Rescue())
+      if (auto Res = Rescue()) {
+        // Outside the skeleton, so book the op and its path here to keep
+        // the conservation law exact under the testing knob.
+        Strong.metrics().onOp(Tid);
+        Strong.metrics().onPath(Tid, obs::Path::Eliminated);
         return *Res;
+      }
       return Strong.strongApply(Tid, WeakOp);
     }
     return Strong.strongApplyWithRescue(Tid, WeakOp, Rescue);
@@ -110,13 +117,18 @@ public:
       return Res;
     };
     auto Rescue = [this, Tid]() -> std::optional<PopResult<Value>> {
-      if (auto V = Elim.tryTake(slotHint(Tid), notFullGate()))
+      if (auto V = Elim.tryTake(slotHint(Tid), notFullGate())) {
+        Strong.metrics().onEvent(Tid, obs::Event::EliminatedPop);
         return PopResult<Value>::value(static_cast<Value>(*V));
+      }
       return std::nullopt;
     };
     if (ForceRescue) {
-      if (auto Res = Rescue())
+      if (auto Res = Rescue()) {
+        Strong.metrics().onOp(Tid);
+        Strong.metrics().onPath(Tid, obs::Path::Eliminated);
         return *Res;
+      }
       return Strong.strongApply(Tid, WeakOp);
     }
     return Strong.strongApplyWithRescue(Tid, WeakOp, Rescue);
@@ -129,6 +141,13 @@ public:
   AbortableStack<Config, Policy> &abortable() { return Weak; }
   ContentionSensitive<Lock, Manager, Policy> &skeleton() { return Strong; }
   EliminationArrayT<Policy> &eliminationArray() { return Elim; }
+
+  /// Path-attributed metrics of the skeleton (obs/PathCounters.h); the
+  /// Eliminated path and the pairing events are booked here too.
+  obs::PathSnapshot pathSnapshot() const { return Strong.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const {
+    return Strong.metrics().lastPath(Tid);
+  }
 
   /// Operations finished via elimination (test/bench aid).
   std::uint64_t eliminationExchangesForTesting() const {

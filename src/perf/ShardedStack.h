@@ -46,6 +46,7 @@
 #define CSOBJ_PERF_SHARDEDSTACK_H
 
 #include "core/ContentionSensitiveStack.h"
+#include "obs/PathCounters.h"
 #include "perf/EliminationArray.h"
 
 #include <array>
@@ -74,7 +75,8 @@ public:
   /// \p TotalCapacity must divide evenly across the shards.
   ShardedStack(std::uint32_t NumThreads, std::uint32_t TotalCapacity,
                std::uint32_t SlotCount = 4, std::uint32_t SpinBudget = 64)
-      : PerShard(TotalCapacity / NumShards), Elim(SlotCount, SpinBudget) {
+      : N(NumThreads), PerShard(TotalCapacity / NumShards),
+        Elim(SlotCount, SpinBudget) {
     assert(TotalCapacity % NumShards == 0 &&
            "capacity must divide evenly across shards");
     assert(PerShard >= 1 && "each shard needs capacity");
@@ -92,8 +94,15 @@ public:
       // Every shard answered Full at its own instant. Before certifying,
       // try handing the value to a concurrent pop.
       if (Elim.tryGive(static_cast<std::uint32_t>(V), slotHint(Tid),
-                       notFullGate(Home)))
+                       notFullGate(Home))) {
+        // Facade-level pairing bypasses every shard skeleton: book the
+        // op and its path into the facade sink so the conservation law
+        // (ops == Σ paths, per sink) stays exact.
+        Sink.onOp(Tid);
+        Sink.onPath(Tid, obs::Path::Eliminated);
+        Sink.onEvent(Tid, obs::Event::EliminatedPush);
         return PushResult::Done;
+      }
       if (allShardsStable(/*WantFull=*/true))
         return PushResult::Full;
       // Movement detected: some shard had (or freed) room — re-probe.
@@ -110,8 +119,12 @@ public:
         if (Res.isValue())
           return Res;
       }
-      if (auto V = Elim.tryTake(slotHint(Tid), notFullGate(Home)))
+      if (auto V = Elim.tryTake(slotHint(Tid), notFullGate(Home))) {
+        Sink.onOp(Tid);
+        Sink.onPath(Tid, obs::Path::Eliminated);
+        Sink.onEvent(Tid, obs::Event::EliminatedPop);
         return PopResult<Value>::value(static_cast<Value>(*V));
+      }
       if (allShardsStable(/*WantFull=*/false))
         return PopResult<Value>::empty();
     }
@@ -134,6 +147,18 @@ public:
   EliminationArrayT<Policy> &eliminationArray() { return Elim; }
   std::uint64_t eliminationExchangesForTesting() const {
     return Elim.exchangesForTesting();
+  }
+
+  /// Aggregated path-attributed metrics: the facade sink (facade-level
+  /// eliminations) plus every shard skeleton. One facade op may enter
+  /// several shard skeletons, so Ops here is >= the harness's op count;
+  /// the conservation law (Ops == Σ paths) still holds because each
+  /// sink's entries and exits balance independently.
+  obs::PathSnapshot pathSnapshot() const {
+    obs::PathSnapshot Total = Sink.snapshot();
+    for (std::uint32_t S = 0; S < NumShards; ++S)
+      Total += shardAt(S).pathSnapshot();
+    return Total;
   }
 
 private:
@@ -178,9 +203,11 @@ private:
     return (static_cast<std::uint64_t>(Tid) << 32) ^ Counter++;
   }
 
+  const std::uint32_t N;
   const std::uint32_t PerShard;
   std::array<std::optional<Shard>, NumShards> Shards;
   EliminationArrayT<Policy> Elim;
+  [[no_unique_address]] mutable obs::MetricSink Sink{N};
 };
 
 } // namespace csobj

@@ -34,6 +34,7 @@
 #include "runtime/Workload.h"
 #include "support/SplitMix64.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -67,6 +68,10 @@ WorkloadReport runClosedLoop(AdapterT &Adapter, const WorkloadConfig &Config) {
   // watchdog (runtime/Watchdog.h). Both are inert when unconfigured.
   FaultClock Clock;
   Watchdog Dog(Config.Threads, Config.OpDeadlineNs);
+  // When the adapter can attribute operations to paths, let stuck-op
+  // reports carry the wedged thread's last completed path as a hint.
+  if constexpr (requires { Adapter.lastPath(std::uint32_t{0}); })
+    Dog.setPathProbe([&Adapter](std::uint32_t T) { return Adapter.lastPath(T); });
   Dog.start();
 
   for (std::uint32_t Tid = 0; Tid < Config.Threads; ++Tid) {
@@ -113,9 +118,16 @@ WorkloadReport runClosedLoop(AdapterT &Adapter, const WorkloadConfig &Config) {
         }
         Dog.disarm(Tid);
         const auto End = std::chrono::steady_clock::now();
-        Mine.Latency.record(static_cast<std::uint64_t>(
+        const std::uint64_t LatencyNs = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(End - Begin)
-                .count()));
+                .count());
+        Mine.Latency.record(LatencyNs);
+        // Route the same sample into the per-path histogram when the
+        // adapter can say which path just retired this thread's op.
+        if constexpr (requires { Adapter.lastPath(Tid); }) {
+          const auto P = static_cast<unsigned>(Adapter.lastPath(Tid));
+          Mine.PathLatency[std::min(P, obs::NumPaths)].record(LatencyNs);
+        }
         Mine.Retries += Retries;
         switch (Outcome) {
         case OpOutcome::Ok:

@@ -45,6 +45,7 @@ void LatencyHistogram::record(std::uint64_t ValueNs) {
   ++Total;
   Sum += Clamped;
   Max = std::max(Max, Clamped);
+  Min = std::min(Min, Clamped);
 }
 
 void LatencyHistogram::merge(const LatencyHistogram &Other) {
@@ -53,13 +54,8 @@ void LatencyHistogram::merge(const LatencyHistogram &Other) {
   Total += Other.Total;
   Sum += Other.Sum;
   Max = std::max(Max, Other.Max);
-}
-
-std::uint64_t LatencyHistogram::minValue() const {
-  for (std::size_t I = 0; I < Buckets.size(); ++I)
-    if (Buckets[I] != 0)
-      return bucketUpperEdge(static_cast<unsigned>(I));
-  return 0;
+  if (Other.Total != 0)
+    Min = std::min(Min, Other.Min);
 }
 
 double LatencyHistogram::mean() const {
@@ -87,6 +83,7 @@ void LatencyHistogram::reset() {
   Total = 0;
   Sum = 0;
   Max = 0;
+  Min = ~std::uint64_t{0};
 }
 
 double jainFairnessIndex(const std::vector<double> &Scores) {

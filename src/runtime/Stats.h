@@ -47,7 +47,14 @@ public:
 
   std::uint64_t count() const { return Total; }
   std::uint64_t maxValue() const { return Max; }
-  std::uint64_t minValue() const;
+
+  /// Exact smallest recorded value (0 when empty). Tracked directly like
+  /// Max: deriving it from the first non-empty bucket's upper edge, as an
+  /// earlier version did, biased the reported minimum upward by up to one
+  /// bucket width (~3% relative, but absolute error grows with the
+  /// exponent — hundreds of ns for microsecond-scale fast paths).
+  std::uint64_t minValue() const { return Total == 0 ? 0 : Min; }
+
   double mean() const;
 
   /// Value at quantile \p Q in [0, 1] (0.5 = median). Returns the upper
@@ -65,6 +72,7 @@ private:
   std::uint64_t Total = 0;
   std::uint64_t Sum = 0;
   std::uint64_t Max = 0;
+  std::uint64_t Min = ~std::uint64_t{0}; ///< Sentinel until first record().
 };
 
 /// Jain's fairness index over per-thread scores; 1 = perfectly fair,

@@ -23,12 +23,14 @@
 #ifndef CSOBJ_RUNTIME_WATCHDOG_H
 #define CSOBJ_RUNTIME_WATCHDOG_H
 
+#include "obs/PathCounters.h"
 #include "support/CacheLine.h"
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -39,6 +41,11 @@ namespace csobj {
 struct StuckOpReport {
   std::uint32_t Tid = 0;
   std::uint64_t ObservedNs = 0; ///< Age of the operation when caught.
+  /// Terminal path of the thread's last *completed* operation (None when
+  /// no path probe was installed). A wedged thread whose last op retired
+  /// via Lock points at the doorway/lock machinery; one whose last op was
+  /// a Shortcut suggests the hang began before any slow-path entry.
+  obs::Path PathHint = obs::Path::None;
 };
 
 /// Deadline monitor over per-thread operation slots. Usage:
@@ -117,6 +124,14 @@ public:
 
   std::uint64_t deadlineNs() const { return DeadlineNs; }
 
+  /// Installs a per-thread path probe (typically the adapter's
+  /// lastPath(Tid)) consulted when a stuck operation is reported. Must be
+  /// set before start(); the probe must be safe to call from the monitor
+  /// thread (MetricSink::lastPath is a relaxed load, so it is).
+  void setPathProbe(std::function<obs::Path(std::uint32_t)> Probe) {
+    PathProbe = std::move(Probe);
+  }
+
 private:
   struct Slot {
     std::atomic<std::uint64_t> Armed{0};    ///< Op start time, 0 = idle.
@@ -140,8 +155,9 @@ private:
       if (S.Reported.load(std::memory_order_relaxed) == Armed)
         continue; // This operation was already reported.
       S.Reported.store(Armed, std::memory_order_relaxed);
+      const obs::Path Hint = PathProbe ? PathProbe(Tid) : obs::Path::None;
       std::lock_guard<std::mutex> Lock(Mutex);
-      Reports.push_back({Tid, Now - Armed});
+      Reports.push_back({Tid, Now - Armed, Hint});
     }
   }
 
@@ -165,6 +181,7 @@ private:
   std::atomic<bool> Stopping{false};
   std::thread Monitor;
   std::vector<StuckOpReport> Reports;
+  std::function<obs::Path(std::uint32_t)> PathProbe;
 };
 
 } // namespace csobj

@@ -95,6 +95,15 @@ LatencyHistogram WorkloadReport::mergedLatency() const {
   return Merged;
 }
 
+LatencyHistogram WorkloadReport::mergedPathLatency(obs::Path P) const {
+  LatencyHistogram Merged;
+  const unsigned Index =
+      std::min<unsigned>(static_cast<unsigned>(P), obs::NumPaths);
+  for (const ThreadReport &R : PerThread)
+    Merged.merge(R.PathLatency[Index]);
+  return Merged;
+}
+
 void spinThink(std::uint32_t Ns) {
   if (Ns == 0)
     return;

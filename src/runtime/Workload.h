@@ -22,6 +22,7 @@
 #define CSOBJ_RUNTIME_WORKLOAD_H
 
 #include "faults/FaultPlan.h"
+#include "obs/PathCounters.h"
 #include "runtime/Stats.h"
 
 #include <cstdint>
@@ -83,6 +84,13 @@ struct ThreadReport {
   std::uint64_t Retries = 0;  ///< Internal retries reported by the object.
   bool Crashed = false;       ///< Thread hit a planned crash-stop fault.
   LatencyHistogram Latency;   ///< Per-operation completion latency.
+  /// Completion latency split by the operation's terminal path (index =
+  /// obs::Path; the extra slot collects Path::None, i.e. adapters without
+  /// a path probe or CSOBJ_NO_METRICS builds). Only populated when the
+  /// adapter exposes lastPath(Tid); the validation claim this enables is
+  /// path-conditional: shortcut latency must stay flat as threads scale
+  /// while lock-path latency grows.
+  LatencyHistogram PathLatency[obs::NumPaths + 1];
 
   std::uint64_t completedOps() const {
     return Pushes + Pops + Fulls + Empties + Aborts;
@@ -118,6 +126,9 @@ struct WorkloadReport {
   double meanLatencyRatio() const;
   /// All threads' latencies merged.
   LatencyHistogram mergedLatency() const;
+  /// All threads' latencies on one terminal path merged (empty histogram
+  /// when no adapter path probe was available).
+  LatencyHistogram mergedPathLatency(obs::Path P) const;
 };
 
 /// Busy-spins for roughly \p Ns nanoseconds of local (non-shared) work.

@@ -21,10 +21,38 @@
 #include "support/SpinWait.h"
 #include "support/SplitMix64.h"
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <thread>
 
 namespace csobj {
+
+/// Sentinel seed meaning "derive a fresh per-thread, per-instance seed".
+/// This is the default: a *constant* default seed put every thread's
+/// backoff RNG into the identical SplitMix64 stream, so contending
+/// threads drew the same windows in lockstep and re-collided — randomized
+/// backoff without the randomization, which systematically skewed every
+/// abort-rate and latency measurement under contention.
+inline constexpr std::uint64_t DeriveBackoffSeed = ~std::uint64_t{0};
+
+namespace detail {
+
+/// Per-construction seed: the calling thread's id hashed and mixed with a
+/// process-wide nonce, whitened through one SplitMix64 step. Two managers
+/// constructed on different threads — or constructed twice on the same
+/// thread — draw from diverging streams.
+inline std::uint64_t deriveBackoffSeed() {
+  static std::atomic<std::uint64_t> Nonce{0};
+  const std::uint64_t Id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const std::uint64_t Salt =
+      Nonce.fetch_add(1, std::memory_order_relaxed) + 1;
+  SplitMix64 Mix(Id ^ (Salt * 0x9e3779b97f4a7c15ull));
+  return Mix();
+}
+
+} // namespace detail
 
 /// Capped randomized exponential backoff. Each failure doubles the window
 /// (up to \p MaxWindow) and waits a uniformly random number of relax hints
@@ -35,8 +63,9 @@ public:
 
   explicit ExponentialBackoff(std::uint32_t MinWindow = 4,
                               std::uint32_t MaxWindow = 1024,
-                              std::uint64_t Seed = 0x5bd1e995u)
-      : Window(MinWindow), Floor(MinWindow), Cap(MaxWindow), Rng(Seed) {}
+                              std::uint64_t Seed = DeriveBackoffSeed)
+      : Window(MinWindow), Floor(MinWindow), Cap(MaxWindow),
+        Rng(Seed == DeriveBackoffSeed ? detail::deriveBackoffSeed() : Seed) {}
 
   /// Waits for a random duration within the current window and widens it.
   void onFailure() {
@@ -58,6 +87,11 @@ public:
   void onSuccess() { Window = Floor; }
 
   std::uint32_t window() const { return Window; }
+
+  /// Next randomized step count, without the wait (regression-test aid:
+  /// seed divergence is asserted on these draws; advances the RNG exactly
+  /// as onFailure would).
+  std::uint64_t stepDrawForTesting() { return Rng.below(Window) + 1; }
 
 private:
   std::uint32_t Window;

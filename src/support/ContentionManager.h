@@ -107,8 +107,9 @@ public:
 
   explicit AdaptiveBackoff(std::uint32_t MinWindow = 2,
                            std::uint32_t MaxWindow = 4096,
-                           std::uint64_t Seed = 0x9e3779b9u)
-      : Window(MinWindow), Floor(MinWindow), Cap(MaxWindow), Rng(Seed) {
+                           std::uint64_t Seed = DeriveBackoffSeed)
+      : Window(MinWindow), Floor(MinWindow), Cap(MaxWindow),
+        Rng(Seed == DeriveBackoffSeed ? detail::deriveBackoffSeed() : Seed) {
     if (const AccessCounts *Counts = detail::ActiveAccessCounts)
       LastCasFailures = Counts->CasFailures;
   }
@@ -140,6 +141,10 @@ public:
   void onSuccess() { Window = std::max(Floor, Window / 2); }
 
   std::uint32_t window() const { return Window; }
+
+  /// Next randomized step count, without the wait (regression-test aid
+  /// for seed divergence).
+  std::uint64_t stepDrawForTesting() { return Rng.below(Window) + 1; }
 
 private:
   std::uint32_t Window;

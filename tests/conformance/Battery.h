@@ -73,6 +73,7 @@
 #include "memory/AtomicRegister.h"
 #include "memory/ChaosHook.h"
 #include "memory/SchedHook.h"
+#include "obs/PathCounters.h"
 #include "runtime/SpinBarrier.h"
 #include "sched/Explorer.h"
 #include "sched/InterleaveScheduler.h"
@@ -686,6 +687,38 @@ template <typename A> void dequeSpecReplayCell() {
 // Cell: LincheckStress / Chaos / stall-plan round (one workhorse)
 //===----------------------------------------------------------------------===
 
+/// Metrics-as-oracle: once a crash-free stress round quiesces, an
+/// object exposing a path snapshot must satisfy the conservation laws
+/// (obs::PathSnapshot::conserves — every entered op retired through
+/// exactly one path, pairings balance, degradations have causes), and
+/// with metrics compiled in it must have seen every operation the round
+/// issued (>= because a sharded facade op enters several skeletons).
+/// Entries without metrics skip the check via the requires-gate; note
+/// degradations are NOT asserted zero — the small-patience entries
+/// legitimately degrade under stress.
+template <typename ObjT>
+void assertPathConservation(const ObjT &Obj, std::uint32_t Round,
+                            std::uint64_t OpsIssued) {
+  if constexpr (requires { Obj.pathSnapshot(); }) {
+    const obs::PathSnapshot S = Obj.pathSnapshot();
+    ASSERT_TRUE(S.conserves())
+        << "round " << Round << ": path conservation violated (ops="
+        << S.Ops << " pathTotal=" << S.pathTotal()
+        << " elimPush=" << S.event(obs::Event::EliminatedPush)
+        << " elimPop=" << S.event(obs::Event::EliminatedPop)
+        << " degraded=" << S.path(obs::Path::Degraded)
+        << " doorwayTO=" << S.event(obs::Event::DoorwayTimeout)
+        << " leaseTO=" << S.event(obs::Event::LeaseTimeout) << ")";
+    if constexpr (obs::MetricsEnabled) {
+      ASSERT_GE(S.Ops, OpsIssued)
+          << "round " << Round << ": sink missed operations";
+    }
+  } else {
+    (void)Round;
+    (void)OpsIssued;
+  }
+}
+
 template <typename A> void stressRounds(AsyncMode Mode) {
   const std::uint32_t Rounds =
       Mode == AsyncMode::None ? StressRounds : ChaosRounds;
@@ -750,6 +783,8 @@ template <typename A> void stressRounds(AsyncMode Mode) {
     if (A::Strong)
       ASSERT_EQ(Aborts.load(), 0u)
           << "strong object aborted in round " << Round;
+    assertPathConservation(*Obj, Round,
+                           std::uint64_t{StressThreads} * StressOpsPerThread);
     const History H = mergeHistories(Recorders);
     ASSERT_TRUE(H.wellFormed());
     const CheckResult Result = checkLinearizable(H, A::makeSpec());
@@ -829,6 +864,8 @@ template <typename A> void dequeStressRounds(AsyncMode Mode) {
     if (A::Strong)
       ASSERT_EQ(Aborts.load(), 0u)
           << "strong deque aborted in round " << Round;
+    assertPathConservation(*Obj, Round,
+                           std::uint64_t{StressThreads} * StressOpsPerThread);
     const History H = mergeHistories(Recorders);
     ASSERT_TRUE(H.wellFormed());
     const CheckResult Result = checkLinearizable(H, A::makeSpec());

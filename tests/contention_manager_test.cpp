@@ -119,6 +119,35 @@ TEST(ContentionManagerTest, AdaptiveSuccessHalvesDownToFloor) {
   EXPECT_EQ(Mgr.window(), 2u); // Never below the floor.
 }
 
+TEST(ContentionManagerTest, AdaptiveDefaultSeedDivergesAcrossThreads) {
+  // Same regression as BackoffTest.DefaultSeedDivergesAcrossThreads, for
+  // the adaptive manager (it carries its own SplitMix64): two default-
+  // seeded managers on different threads must not share a stream. Wide
+  // fixed window, no aborts in between, so only the seed can differ.
+  constexpr std::uint32_t Wide = 1u << 20;
+  constexpr std::size_t Draws = 8;
+  std::vector<std::uint64_t> A, B;
+  std::thread T1([&] {
+    AdaptiveBackoff Mgr(Wide, Wide);
+    for (std::size_t I = 0; I < Draws; ++I)
+      A.push_back(Mgr.stepDrawForTesting());
+  });
+  std::thread T2([&] {
+    AdaptiveBackoff Mgr(Wide, Wide);
+    for (std::size_t I = 0; I < Draws; ++I)
+      B.push_back(Mgr.stepDrawForTesting());
+  });
+  T1.join();
+  T2.join();
+  EXPECT_NE(A, B);
+
+  // And an explicit seed restores determinism for directed tests.
+  AdaptiveBackoff First(Wide, Wide, /*Seed=*/7);
+  AdaptiveBackoff Second(Wide, Wide, /*Seed=*/7);
+  for (std::size_t I = 0; I < Draws; ++I)
+    EXPECT_EQ(First.stepDrawForTesting(), Second.stepDrawForTesting());
+}
+
 //===----------------------------------------------------------------------===
 // Linearizability: Fast policy x every manager (mixed workload oracle)
 //===----------------------------------------------------------------------===

@@ -1,0 +1,430 @@
+//===- tests/json_reporter_test.cpp - JSON emitter round-trip ------------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Round-trip coverage for obs/JsonReporter.h: a small recursive-descent
+// parser (below, test-only) consumes exactly the subset the emitter
+// produces — an array of flat objects whose values are strings, numbers,
+// booleans, or null — and the tests assert that what went in through
+// field() comes back out byte-identical after escaping, that NaN/Inf
+// degrade to null rather than corrupting the document, that the full
+// uint64 range survives (doubles would silently round above 2^53), and
+// that the path-breakdown schema (obs/MetricsJson.h) parses with its
+// conservation law intact. Benchmark plots and the CI bench-smoke
+// validator both stand on these properties.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/JsonReporter.h"
+#include "obs/MetricsJson.h"
+#include "obs/PathCounters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace csobj {
+namespace {
+
+//===----------------------------------------------------------------------===
+// Minimal JSON parser for the emitter's output subset
+//===----------------------------------------------------------------------===
+
+/// A parsed scalar. The emitter never nests, so this is the whole value
+/// domain: unsigned integers parse as Uint (exact), anything with a
+/// '.', 'e', or '-' as Num, plus Str/Bool/Null.
+struct JsonValue {
+  std::variant<std::monostate, std::string, std::uint64_t, double, bool> V;
+  bool isNull() const { return V.index() == 0; }
+  const std::string &str() const { return std::get<std::string>(V); }
+  std::uint64_t uint() const { return std::get<std::uint64_t>(V); }
+  double num() const {
+    if (auto *U = std::get_if<std::uint64_t>(&V))
+      return static_cast<double>(*U);
+    return std::get<double>(V);
+  }
+  bool boolean() const { return std::get<bool>(V); }
+};
+
+using JsonRecord = std::map<std::string, JsonValue>;
+
+/// Parses the emitter's document shape: `[ {..}, {..} ]` with flat
+/// objects. Fails the calling test (via ADD_FAILURE) and returns an
+/// empty result on any malformed input, which is itself the signal the
+/// round-trip tests exist to catch.
+class MiniParser {
+public:
+  explicit MiniParser(const std::string &Text) : Text(Text) {}
+
+  std::vector<JsonRecord> parseDocument() {
+    std::vector<JsonRecord> Records;
+    skipWs();
+    if (!consume('[')) {
+      ADD_FAILURE() << "document must open with '['";
+      return Records;
+    }
+    skipWs();
+    if (consume(']'))
+      return Records; // empty array
+    while (true) {
+      JsonRecord Rec;
+      if (!parseObject(Rec))
+        return Records;
+      Records.push_back(std::move(Rec));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Records;
+      ADD_FAILURE() << "expected ',' or ']' at offset " << Pos;
+      return Records;
+    }
+  }
+
+private:
+  bool parseObject(JsonRecord &Rec) {
+    skipWs();
+    if (!consume('{')) {
+      ADD_FAILURE() << "expected '{' at offset " << Pos;
+      return false;
+    }
+    skipWs();
+    if (consume('}'))
+      return true;
+    while (true) {
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':')) {
+        ADD_FAILURE() << "expected ':' after key \"" << Key << "\"";
+        return false;
+      }
+      JsonValue Val;
+      if (!parseValue(Val))
+        return false;
+      Rec.emplace(std::move(Key), std::move(Val));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      ADD_FAILURE() << "expected ',' or '}' at offset " << Pos;
+      return false;
+    }
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Text.size()) {
+      ADD_FAILURE() << "unexpected end of document";
+      return false;
+    }
+    const char C = Text[Pos];
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out.V = std::move(S);
+      return true;
+    }
+    if (literal("true")) {
+      Out.V = true;
+      return true;
+    }
+    if (literal("false")) {
+      Out.V = false;
+      return true;
+    }
+    if (literal("null")) {
+      Out.V = std::monostate{};
+      return true;
+    }
+    return parseNumber(Out);
+  }
+
+  bool parseString(std::string &Out) {
+    skipWs();
+    if (!consume('"')) {
+      ADD_FAILURE() << "expected '\"' at offset " << Pos;
+      return false;
+    }
+    while (Pos < Text.size()) {
+      const char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      const char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          ADD_FAILURE() << "truncated \\u escape";
+          return false;
+        }
+        const std::string Hex = Text.substr(Pos, 4);
+        Pos += 4;
+        const unsigned long Code = std::stoul(Hex, nullptr, 16);
+        if (Code > 0xFF) {
+          // The emitter only \u-escapes control bytes; anything wider
+          // would be an emitter change this parser must flag.
+          ADD_FAILURE() << "unexpected wide \\u escape: " << Hex;
+          return false;
+        }
+        Out += static_cast<char>(Code);
+        break;
+      }
+      default:
+        ADD_FAILURE() << "unknown escape '\\" << E << "'";
+        return false;
+      }
+    }
+    ADD_FAILURE() << "unterminated string";
+    return false;
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    const std::size_t Start = Pos;
+    bool Fractional = false;
+    while (Pos < Text.size()) {
+      const char C = Text[Pos];
+      if ((C >= '0' && C <= '9') || C == '+' || C == '-') {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E') {
+        Fractional = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start) {
+      ADD_FAILURE() << "expected a value at offset " << Pos;
+      return false;
+    }
+    const std::string Tok = Text.substr(Start, Pos - Start);
+    if (!Fractional && Tok[0] != '-') {
+      Out.V = static_cast<std::uint64_t>(std::stoull(Tok));
+      return true;
+    }
+    Out.V = std::stod(Tok);
+    return true;
+  }
+
+  bool literal(const char *Lit) {
+    const std::size_t Len = std::char_traits<char>::length(Lit);
+    if (Text.compare(Pos, Len, Lit) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\n' || Text[Pos] == '\t' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  const std::string &Text;
+  std::size_t Pos = 0;
+};
+
+std::vector<JsonRecord> parse(const obs::JsonReporter &Json) {
+  const std::string Doc = Json.str();
+  MiniParser P(Doc);
+  return P.parseDocument();
+}
+
+/// "s" + to_string(I) spelled without std::string operator+ (GCC 12's
+/// -Wrestrict false-positives on the inlined concatenation).
+std::string indexedKey(const char *Prefix, std::size_t I) {
+  std::string Key(Prefix);
+  Key += std::to_string(I);
+  return Key;
+}
+
+//===----------------------------------------------------------------------===
+// Round-trip tests
+//===----------------------------------------------------------------------===
+
+TEST(JsonReporter, EmptyDocumentIsAnEmptyArray) {
+  obs::JsonReporter Json;
+  EXPECT_EQ(Json.str(), "[]\n");
+  EXPECT_TRUE(parse(Json).empty());
+}
+
+TEST(JsonReporter, StringEscapingRoundTrips) {
+  const std::vector<std::string> Nasty = {
+      "plain",
+      "with \"quotes\" inside",
+      "back\\slash and \\\" mix",
+      "line\nbreak and\ttab",
+      std::string("control\x01\x1f bytes"),
+      "trailing backslash\\",
+      "", // empty string
+  };
+  obs::JsonReporter Json;
+  Json.beginRecord();
+  for (std::size_t I = 0; I < Nasty.size(); ++I)
+    Json.field(indexedKey("s", I), Nasty[I]);
+  Json.endRecord();
+
+  const std::vector<JsonRecord> Records = parse(Json);
+  ASSERT_EQ(Records.size(), 1u);
+  for (std::size_t I = 0; I < Nasty.size(); ++I) {
+    const auto It = Records[0].find(indexedKey("s", I));
+    ASSERT_NE(It, Records[0].end());
+    EXPECT_EQ(It->second.str(), Nasty[I])
+        << "string " << I << " did not survive the round trip";
+  }
+}
+
+TEST(JsonReporter, KeysAreEscapedToo) {
+  obs::JsonReporter Json;
+  Json.beginRecord();
+  Json.field(std::string("key \"with\" quotes\n"), std::uint64_t{7});
+  Json.endRecord();
+  const std::vector<JsonRecord> Records = parse(Json);
+  ASSERT_EQ(Records.size(), 1u);
+  const auto It = Records[0].find("key \"with\" quotes\n");
+  ASSERT_NE(It, Records[0].end());
+  EXPECT_EQ(It->second.uint(), 7u);
+}
+
+TEST(JsonReporter, NonFiniteDoublesBecomeNull) {
+  obs::JsonReporter Json;
+  Json.beginRecord();
+  Json.field("nan", std::numeric_limits<double>::quiet_NaN());
+  Json.field("inf", std::numeric_limits<double>::infinity());
+  Json.field("ninf", -std::numeric_limits<double>::infinity());
+  Json.field("fine", 0.5);
+  Json.endRecord();
+  const std::vector<JsonRecord> Records = parse(Json);
+  ASSERT_EQ(Records.size(), 1u);
+  EXPECT_TRUE(Records[0].at("nan").isNull());
+  EXPECT_TRUE(Records[0].at("inf").isNull());
+  EXPECT_TRUE(Records[0].at("ninf").isNull());
+  EXPECT_EQ(Records[0].at("fine").num(), 0.5);
+}
+
+TEST(JsonReporter, FullUint64RangeRoundTripsExactly) {
+  // 2^53+1 and UINT64_MAX are NOT representable as doubles; emitting
+  // them through any double path would silently round. The integer
+  // overload must keep them exact.
+  const std::uint64_t Exact[] = {
+      0,
+      1,
+      (std::uint64_t{1} << 53) + 1,
+      std::numeric_limits<std::uint64_t>::max(),
+  };
+  obs::JsonReporter Json;
+  Json.beginRecord();
+  for (std::size_t I = 0; I < std::size(Exact); ++I)
+    Json.field(indexedKey("u", I), Exact[I]);
+  Json.endRecord();
+  const std::vector<JsonRecord> Records = parse(Json);
+  ASSERT_EQ(Records.size(), 1u);
+  for (std::size_t I = 0; I < std::size(Exact); ++I)
+    EXPECT_EQ(Records[0].at(indexedKey("u", I)).uint(), Exact[I]);
+}
+
+TEST(JsonReporter, MixedRecordsKeepShapeAndValues) {
+  obs::JsonReporter Json;
+  Json.beginRecord();
+  Json.field("object", "cs-stack");
+  Json.field("threads", std::uint32_t{8});
+  Json.field("throughput_ops_per_sec", 1.25e7);
+  Json.field("strong", true);
+  Json.endRecord();
+  Json.beginRecord();
+  Json.field("object", "nb-stack");
+  Json.field("threads", std::uint32_t{1});
+  Json.field("throughput_ops_per_sec", 3.5);
+  Json.field("strong", false);
+  Json.endRecord();
+
+  const std::vector<JsonRecord> Records = parse(Json);
+  ASSERT_EQ(Records.size(), 2u);
+  EXPECT_EQ(Records[0].at("object").str(), "cs-stack");
+  EXPECT_EQ(Records[0].at("threads").uint(), 8u);
+  EXPECT_EQ(Records[0].at("throughput_ops_per_sec").num(), 1.25e7);
+  EXPECT_TRUE(Records[0].at("strong").boolean());
+  EXPECT_EQ(Records[1].at("object").str(), "nb-stack");
+  EXPECT_FALSE(Records[1].at("strong").boolean());
+}
+
+TEST(JsonReporter, PathBreakdownSchemaParsesAndConserves) {
+  // The same snapshot shape the benches emit; the parsed record must
+  // contain every schema field and satisfy metric_ops == sum(path_*),
+  // which is exactly what the CI bench-smoke validator asserts on real
+  // BENCH_*.json output.
+  obs::PathSnapshot S;
+  S.Ops = 100;
+  S.Paths[static_cast<unsigned>(obs::Path::Shortcut)] = 90;
+  S.Paths[static_cast<unsigned>(obs::Path::Lock)] = 8;
+  S.Paths[static_cast<unsigned>(obs::Path::Eliminated)] = 2;
+  S.Events[static_cast<unsigned>(obs::Event::EliminatedPush)] = 1;
+  S.Events[static_cast<unsigned>(obs::Event::EliminatedPop)] = 1;
+  S.Events[static_cast<unsigned>(obs::Event::ShortcutAbort)] = 11;
+  ASSERT_TRUE(S.conserves());
+
+  obs::JsonReporter Json;
+  Json.beginRecord();
+  obs::emitPathBreakdown(Json, S);
+  Json.endRecord();
+
+  const std::vector<JsonRecord> Records = parse(Json);
+  ASSERT_EQ(Records.size(), 1u);
+  const JsonRecord &R = Records[0];
+  const char *Required[] = {
+      "metric_ops",        "path_shortcut",    "path_eliminated",
+      "path_combined",     "path_lock",        "path_degraded",
+      "shortcut_aborts",   "protected_retries", "degraded_retries",
+      "eliminated_pushes", "eliminated_pops",  "combiner_batches",
+      "combined_ops",      "doorway_timeouts", "lease_timeouts",
+  };
+  for (const char *Key : Required)
+    ASSERT_TRUE(R.count(Key)) << "missing schema field " << Key;
+  const std::uint64_t PathSum =
+      R.at("path_shortcut").uint() + R.at("path_eliminated").uint() +
+      R.at("path_combined").uint() + R.at("path_lock").uint() +
+      R.at("path_degraded").uint();
+  EXPECT_EQ(R.at("metric_ops").uint(), PathSum);
+  EXPECT_EQ(R.at("metric_ops").uint(), 100u);
+  EXPECT_EQ(R.at("shortcut_aborts").uint(), 11u);
+}
+
+} // namespace
+} // namespace csobj

@@ -98,6 +98,46 @@ TEST(HistogramTest, ResetClears) {
   H.reset();
   EXPECT_EQ(H.count(), 0u);
   EXPECT_EQ(H.maxValue(), 0u);
+  EXPECT_EQ(H.minValue(), 0u);
+}
+
+TEST(HistogramTest, MinMaxMeanRoundTripExactly) {
+  // Regression for the upward-biased minimum: minValue() used to return
+  // the upper edge of the first non-empty bucket, so any recorded value
+  // that was not itself a bucket edge came back inflated (by up to one
+  // bucket width — ~3% relative). Min is tracked exactly now, like Max,
+  // so all three moments must reproduce the inputs verbatim.
+  LatencyHistogram H;
+  const std::uint64_t Values[] = {1000003, 2500001, 999999937};
+  for (const std::uint64_t V : Values)
+    H.record(V);
+  EXPECT_EQ(H.minValue(), 1000003u)
+      << "minimum must be the recorded value, not its bucket's upper edge";
+  EXPECT_EQ(H.maxValue(), 999999937u);
+  EXPECT_NEAR(H.mean(), (1000003.0 + 2500001.0 + 999999937.0) / 3.0, 0.01);
+
+  // Merging an empty histogram must not drag the minimum to the empty
+  // side's sentinel or to zero, in either direction.
+  LatencyHistogram Empty;
+  H.merge(Empty);
+  EXPECT_EQ(H.minValue(), 1000003u);
+  LatencyHistogram Target;
+  Target.merge(H);
+  EXPECT_EQ(Target.minValue(), 1000003u);
+  EXPECT_EQ(Target.maxValue(), 999999937u);
+
+  // A merge from a histogram with a smaller minimum must adopt it.
+  LatencyHistogram Low;
+  Low.record(17);
+  Target.merge(Low);
+  EXPECT_EQ(Target.minValue(), 17u);
+
+  // And reset must restore the empty-histogram answers.
+  Target.reset();
+  EXPECT_EQ(Target.minValue(), 0u);
+  Target.record(42);
+  EXPECT_EQ(Target.minValue(), 42u);
+  EXPECT_EQ(Target.maxValue(), 42u);
 }
 
 TEST(HistogramTest, SummarizePopulatesAllFields) {

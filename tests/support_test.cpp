@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <set>
 #include <thread>
+#include <vector>
 
 namespace csobj {
 namespace {
@@ -187,6 +188,65 @@ TEST(BackoffTest, WindowCapped) {
   for (int I = 0; I < 20; ++I)
     Backoff.onFailure();
   EXPECT_LE(Backoff.window(), 64u);
+}
+
+namespace {
+
+/// First \p Count randomized step draws of a default-seeded manager. A
+/// wide fixed window (no onFailure in between) makes an accidental
+/// full-sequence collision between independent streams astronomically
+/// unlikely (2^-20 per draw).
+std::vector<std::uint64_t> backoffDraws(ExponentialBackoff &Backoff,
+                                        std::size_t Count) {
+  std::vector<std::uint64_t> Draws;
+  for (std::size_t I = 0; I < Count; ++I)
+    Draws.push_back(Backoff.stepDrawForTesting());
+  return Draws;
+}
+
+} // namespace
+
+TEST(BackoffTest, DefaultSeedDivergesAcrossThreads) {
+  // Regression: the seed default used to be one shared constant, which
+  // put every thread's backoff RNG into the identical SplitMix64 stream
+  // — contending threads drew the same windows in lockstep and
+  // re-collided, defeating the randomization the manager exists for.
+  // Two managers default-constructed on different threads must draw
+  // diverging step sequences.
+  constexpr std::uint32_t Wide = 1u << 20;
+  constexpr std::size_t Draws = 8;
+  std::vector<std::uint64_t> A, B;
+  std::thread T1([&] {
+    ExponentialBackoff Backoff(Wide, Wide);
+    A = backoffDraws(Backoff, Draws);
+  });
+  std::thread T2([&] {
+    ExponentialBackoff Backoff(Wide, Wide);
+    B = backoffDraws(Backoff, Draws);
+  });
+  T1.join();
+  T2.join();
+  EXPECT_NE(A, B) << "two threads' default-seeded backoff streams are "
+                     "identical: the lockstep-seed bug is back";
+}
+
+TEST(BackoffTest, DefaultSeedDivergesAcrossInstances) {
+  // Even on ONE thread, two default-seeded instances must differ (the
+  // per-instance nonce): contention-sensitive objects construct one
+  // manager per operation site, often from the same thread.
+  constexpr std::uint32_t Wide = 1u << 20;
+  ExponentialBackoff First(Wide, Wide);
+  ExponentialBackoff Second(Wide, Wide);
+  EXPECT_NE(backoffDraws(First, 8), backoffDraws(Second, 8));
+}
+
+TEST(BackoffTest, ExplicitSeedStaysDeterministic) {
+  // Directed tests rely on reproducible backoff; passing an explicit
+  // seed must keep two managers in the identical stream.
+  constexpr std::uint32_t Wide = 1u << 20;
+  ExponentialBackoff First(Wide, Wide, /*Seed=*/42);
+  ExponentialBackoff Second(Wide, Wide, /*Seed=*/42);
+  EXPECT_EQ(backoffDraws(First, 8), backoffDraws(Second, 8));
 }
 
 //===----------------------------------------------------------------------===
