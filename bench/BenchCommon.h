@@ -107,6 +107,9 @@ struct WeakStackAdapter {
     return IsPush ? fromPush(Stack.weakPush(V)) : fromPop(Stack.weakPop());
   }
   void prefillOne(std::uint32_t V) { (void)Stack.weakPush(V); }
+  std::size_t footprintBytes() const {
+    return sizeof(Stack) + Stack.heapBytes();
+  }
   AbortableStack<> Stack;
 };
 
@@ -162,6 +165,7 @@ struct CsStackAdapter {
   void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
   obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
   obs::Path lastPath(std::uint32_t Tid) const { return Stack.lastPath(Tid); }
+  std::size_t footprintBytes() const { return Stack.footprintBytes(); }
   ContentionSensitiveStack<> Stack;
 };
 
@@ -208,6 +212,7 @@ struct EliminatingCsStackAdapter {
   }
   obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
   obs::Path lastPath(std::uint32_t Tid) const { return Stack.lastPath(Tid); }
+  std::size_t footprintBytes() const { return Stack.footprintBytes(); }
   EliminatingContentionSensitiveStack<> Stack;
 };
 
@@ -228,6 +233,7 @@ struct CombiningStackAdapter {
   }
   obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
   obs::Path lastPath(std::uint32_t Tid) const { return Stack.lastPath(Tid); }
+  std::size_t footprintBytes() const { return Stack.footprintBytes(); }
   CombiningStack<> Stack;
 };
 
@@ -250,6 +256,7 @@ struct ShardedStackAdapter {
   // No lastPath: one facade op enters several shard skeletons, so a
   // single terminal path would be ambiguous.
   obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
+  std::size_t footprintBytes() const { return Stack.footprintBytes(); }
   ShardedStack<4> Stack;
 };
 
@@ -336,6 +343,7 @@ struct CsQueueAdapter {
   void prefillOne(std::uint32_t V) { (void)Queue.enqueue(0, V); }
   obs::PathSnapshot pathSnapshot() const { return Queue.pathSnapshot(); }
   obs::Path lastPath(std::uint32_t Tid) const { return Queue.lastPath(Tid); }
+  std::size_t footprintBytes() const { return Queue.footprintBytes(); }
   ContentionSensitiveQueue<> Queue;
 };
 

@@ -59,7 +59,10 @@ struct SweepOutput {
 /// with the per-path operation counts — so the legacy combiner fields
 /// are only emitted for adapters without a metrics snapshot.
 template <typename AdapterT>
-void emitAccelStats(JsonReporter &Json, AdapterT &Adapter) {
+void emitAccelStats(JsonReporter &Json, AdapterT &Adapter,
+                    std::uint32_t Capacity) {
+  if constexpr (requires { Adapter.footprintBytes(); })
+    obs::emitMemoryFootprint(Json, Adapter.footprintBytes(), Capacity);
   if constexpr (requires { Adapter.exchanges(); })
     Json.field("elimination_exchanges", Adapter.exchanges());
   if constexpr (requires { Adapter.pathSnapshot(); }) {
@@ -101,7 +104,7 @@ void runRows(SweepOutput &Out, const char *Object) {
       Out.Json.field("mean_retries", R.meanRetries());
       Out.Json.field("p99_ns", static_cast<std::uint64_t>(S.P99Ns));
       Out.Json.field("jain_fairness", R.fairness());
-      emitAccelStats(Out.Json, Adapter);
+      emitAccelStats(Out.Json, Adapter, /*Capacity=*/4096);
       Out.Json.endRecord();
     }
   }

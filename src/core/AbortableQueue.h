@@ -73,6 +73,7 @@
 #include "memory/TaggedValue.h"
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -179,6 +180,11 @@ public:
   }
 
   std::uint32_t capacity() const { return K; }
+
+  /// Heap owned by the queue: the ITEMS ring (k + 1 slots).
+  std::size_t heapBytes() const {
+    return std::size_t{Ring} * sizeof(AtomicRegister<SlotWord, Policy>);
+  }
 
   /// Quiescent-only element count (test/debug aid).
   std::uint32_t sizeForTesting() const {

@@ -49,6 +49,7 @@
 #include "memory/TaggedValue.h"
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -132,6 +133,12 @@ public:
 
   /// The paper's k.
   std::uint32_t capacity() const { return K; }
+
+  /// Heap owned by the stack: the STACK[0..k] slot array (k + 1 entries;
+  /// slot 0 holds the initial sentinel).
+  std::size_t heapBytes() const {
+    return (std::size_t{K} + 1) * sizeof(AtomicRegister<SlotWord, Policy>);
+  }
 
   /// One instrumented acquire read of TOP, decoded. The acceleration
   /// layer (perf/) uses this as a not-full / not-empty witness: a single

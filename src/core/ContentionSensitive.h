@@ -58,10 +58,17 @@
 #include "support/ContentionManager.h"
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
 namespace csobj {
+
+/// Batches up to this size keep their per-element result scratch on the
+/// caller's stack; larger groups fall back to one heap allocation. The
+/// wrappers' group operations (push_all/pop_all/drain) use it so common
+/// batch sizes add zero allocator traffic to the operation path.
+inline constexpr std::size_t BatchInlineCapacity = 64;
 
 /// The Figure 3 execution skeleton. One instance guards one abortable
 /// object; all strong operations on that object must go through the same
@@ -140,6 +147,76 @@ public:
     return slowApply(Tid, WeakOp);           // lines 04-13
   }
 
+  /// Group form of strongApply: applies ops 0..Count-1 as one batch.
+  /// \p WeakAt(I) attempts the I-th operation (same optional contract as
+  /// strongApply's WeakOp); every applied result lands in Out[I].
+  /// \p Stop(R) marks a terminal answer (Full/Empty) that rejects the
+  /// batch's remainder — the stopping op's result is stored and counted,
+  /// later ops are never attempted, so the object always holds a prefix
+  /// of the batch. Returns the number of ops applied.
+  ///
+  /// Cost shape: while CONTENTION stays down each element runs the
+  /// line-01-03 shortcut individually (the paper's six-access bound per
+  /// element, no lock). At the first shortcut failure the *entire
+  /// remainder* cuts over to one doorway entry + one lock acquisition,
+  /// under which the remaining elements are applied back to back with
+  /// the line-08 protected retry, then one release. That is the k-ops/
+  /// one-lock amortization flat combining promises, available even on
+  /// the plain Fig-3 skeleton. Starvation-freedom is unchanged: the
+  /// batch holds the lock for a bounded number of its own steps (Count
+  /// is finite, each retry is Manager-paced exactly like strongApply).
+  template <typename WeakAtFn, typename StopFn, typename R>
+  std::size_t strongApplyBatch(std::uint32_t Tid, std::size_t Count,
+                               WeakAtFn WeakAt, StopFn Stop, R *Out) {
+    assert(Tid < N && "thread id out of range");
+    std::size_t I = 0;
+    while (I < Count) {                        // per-element shortcut
+      Sink.onOp(Tid);
+      if (Contention.value().read(std::memory_order_acquire) != 0)
+        break;                                 // element I stays counted
+      auto Res = WeakAt(I);
+      if (!Res) {
+        Sink.onEvent(Tid, obs::Event::ShortcutAbort);
+        break;                                 // adaptive cutover
+      }
+      Out[I] = *Res;
+      Sink.onPath(Tid, obs::Path::Shortcut);
+      ++I;
+      if (Stop(Out[I - 1]))
+        return I;
+    }
+    if (I == Count)
+      return I;
+    // Group phase: one doorway, one lock, k sequential applies, one
+    // release. Element I was already op-counted by the loop above.
+    Arbiter.enter(Tid);
+    Guard.lock(Tid);
+    Contention.value().write(1, std::memory_order_release);
+    Manager Mgr;
+    std::uint64_t Applied = 0;
+    bool Stopped = false;
+    for (; I < Count && !Stopped; ++I) {
+      if (Applied != 0)
+        Sink.onOp(Tid);
+      auto Res = WeakAt(I);
+      while (!Res) {
+        Sink.onEvent(Tid, obs::Event::ProtectedRetry);
+        Mgr.onAbort();
+        Res = WeakAt(I);
+      }
+      Mgr.onSuccess();
+      Out[I] = *Res;
+      ++Applied;
+      Stopped = Stop(Out[I]);
+    }
+    Contention.value().write(0, std::memory_order_release);
+    Arbiter.exitAndAdvance(Tid);
+    Guard.unlock(Tid);
+    Sink.onPath(Tid, obs::Path::Batched, Applied);
+    Sink.onBatch(Tid, Applied);
+    return I;
+  }
+
   std::uint32_t numThreads() const { return N; }
 
   /// Path-attributed metrics for this object (obs/PathCounters.h); an
@@ -154,6 +231,12 @@ public:
 
   /// The doorway (exposed for fairness tests).
   RoundRobinArbiterT<Policy> &arbiter() { return Arbiter; }
+
+  /// Heap owned by the skeleton: the doorway's FLAG array plus the
+  /// metric sink's per-thread blocks (zero under CSOBJ_NO_METRICS).
+  std::size_t heapBytes() const {
+    return Arbiter.heapBytes() + Sink.heapBytes();
+  }
 
 private:
   /// Lines 04-13: the doorway, the lock, and the protected retry.
@@ -233,6 +316,57 @@ public:
     return *Res;                             // line 13
   }
 
+  /// Group form (see ContentionSensitive::strongApplyBatch): per-element
+  /// shortcut, then the whole remainder under one lock acquisition. Same
+  /// contract, minus the suppressed doorway lines.
+  template <typename WeakAtFn, typename StopFn, typename R>
+  std::size_t strongApplyBatch(std::uint32_t Tid, std::size_t Count,
+                               WeakAtFn WeakAt, StopFn Stop, R *Out) {
+    assert(Tid < N && "thread id out of range");
+    std::size_t I = 0;
+    while (I < Count) {
+      Sink.onOp(Tid);
+      if (Contention.value().read(std::memory_order_acquire) != 0)
+        break;
+      auto Res = WeakAt(I);
+      if (!Res) {
+        Sink.onEvent(Tid, obs::Event::ShortcutAbort);
+        break;
+      }
+      Out[I] = *Res;
+      Sink.onPath(Tid, obs::Path::Shortcut);
+      ++I;
+      if (Stop(Out[I - 1]))
+        return I;
+    }
+    if (I == Count)
+      return I;
+    Guard.lock(Tid);
+    Contention.value().write(1, std::memory_order_release);
+    Manager Mgr;
+    std::uint64_t Applied = 0;
+    bool Stopped = false;
+    for (; I < Count && !Stopped; ++I) {
+      if (Applied != 0)
+        Sink.onOp(Tid);
+      auto Res = WeakAt(I);
+      while (!Res) {
+        Sink.onEvent(Tid, obs::Event::ProtectedRetry);
+        Mgr.onAbort();
+        Res = WeakAt(I);
+      }
+      Mgr.onSuccess();
+      Out[I] = *Res;
+      ++Applied;
+      Stopped = Stop(Out[I]);
+    }
+    Contention.value().write(0, std::memory_order_release);
+    Guard.unlock(Tid);
+    Sink.onPath(Tid, obs::Path::Batched, Applied);
+    Sink.onBatch(Tid, Applied);
+    return I;
+  }
+
   std::uint32_t numThreads() const { return N; }
 
   /// Path-attributed metrics (obs/PathCounters.h).
@@ -241,6 +375,16 @@ public:
 
   bool contentionForTesting() const {
     return Contention.value().peekForTesting() != 0;
+  }
+
+  /// Heap owned by the skeleton: the starvation-free lock's arbiter FLAG
+  /// array (when the plugged lock owns heap) plus the metric sink's
+  /// blocks.
+  std::size_t heapBytes() const {
+    std::size_t Bytes = Sink.heapBytes();
+    if constexpr (requires { Guard.heapBytes(); })
+      Bytes += Guard.heapBytes();
+    return Bytes;
   }
 
 private:

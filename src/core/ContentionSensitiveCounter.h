@@ -20,14 +20,19 @@
 #include "core/ContentionSensitive.h"
 #include "memory/AtomicRegister.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 namespace csobj {
 
 /// Abortable counter: one read + one C&S per attempt.
 class AbortableCounter {
 public:
+  /// Heap owned by the counter: none (one inline register).
+  std::size_t heapBytes() const { return 0; }
+
   /// Adds \p Delta; returns the new value, or nullopt (bottom) when a
   /// concurrent update won the C&S.
   std::optional<std::uint64_t> weakAdd(std::uint64_t Delta) {
@@ -62,12 +67,51 @@ public:
         Tid, [this, Delta] { return Weak.weakAdd(Delta); });
   }
 
+  /// Group add: applies Deltas[0..Count) in index order as one batch
+  /// (one seam acquisition for the contended remainder). Adds never
+  /// report Full/Empty so the whole batch always applies; the running
+  /// post-add values land in NewValues[0..Count) when non-null. Returns
+  /// Count.
+  std::size_t add_all(std::uint32_t Tid, const std::uint64_t *Deltas,
+                      std::size_t Count,
+                      std::uint64_t *NewValues = nullptr) {
+    if (Count == 0)
+      return 0;
+    std::uint64_t Inline[BatchInlineCapacity];
+    std::vector<std::uint64_t> Heap;
+    std::uint64_t *Out = NewValues;
+    if (!Out) {
+      if (Count <= BatchInlineCapacity) {
+        Out = Inline;
+      } else {
+        Heap.resize(Count);
+        Out = Heap.data();
+      }
+    }
+    return Strong.strongApplyBatch(
+        Tid, Count,
+        [this, Deltas](std::size_t I) { return Weak.weakAdd(Deltas[I]); },
+        [](std::uint64_t) { return false; }, Out);
+  }
+
   std::uint64_t valueForTesting() const { return Weak.valueForTesting(); }
 
   AbortableCounter &abortable() { return Weak; }
 
   /// Path-attributed metrics of the skeleton (obs/PathCounters.h).
   obs::PathSnapshot pathSnapshot() const { return Strong.pathSnapshot(); }
+
+  /// Resident bytes of the whole object: the header plus the weak
+  /// object's slot array and the skeleton's heap (doorway FLAG array,
+  /// combiner records, metric blocks). Feeds the bytes_per_element bench
+  /// column (obs/MetricsJson.h).
+  std::size_t footprintBytes() const {
+    std::size_t Bytes = sizeof(*this) + Strong.heapBytes();
+    if constexpr (requires { Weak.heapBytes(); })
+      Bytes += Weak.heapBytes();
+    return Bytes;
+  }
+
   obs::Path lastPath(std::uint32_t Tid) const {
     return Strong.metrics().lastPath(Tid);
   }

@@ -23,8 +23,10 @@
 #include "core/ObstructionFreeDeque.h"
 #include "locks/TasLock.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 namespace csobj {
 
@@ -54,12 +56,88 @@ public:
     return strongPop(Tid, [this] { return Weak.tryPopRight(); });
   }
 
+  /// Group push on the right end: pushes Vs[0..Count) in index order as
+  /// one batch, stopping at the first Full answer (the deque receives a
+  /// prefix of Vs). Returns the number pushed.
+  std::size_t push_all(std::uint32_t Tid, const Value *Vs,
+                       std::size_t Count) {
+    if (Count == 0)
+      return 0;
+    PushResult Inline[BatchInlineCapacity];
+    std::vector<PushResult> Heap;
+    PushResult *Results = Inline;
+    if (Count > BatchInlineCapacity) {
+      Heap.resize(Count);
+      Results = Heap.data();
+    }
+    const std::size_t Applied = Strong.strongApplyBatch(
+        Tid, Count,
+        [this, Vs](std::size_t I) -> std::optional<PushResult> {
+          const PushResult Res = Weak.tryPushRight(Vs[I]);
+          if (Res == PushResult::Abort)
+            return std::nullopt;
+          return Res;
+        },
+        [](PushResult R) { return R == PushResult::Full; },
+        Results);
+    return Applied != 0 && Results[Applied - 1] == PushResult::Full
+               ? Applied - 1
+               : Applied;
+  }
+
+  /// Group pop from the right end (LIFO relative to push_all): pops up
+  /// to \p MaxCount values into Out[0..], stopping at the first Empty
+  /// answer. Returns the number popped.
+  std::size_t pop_all(std::uint32_t Tid, Value *Out, std::size_t MaxCount) {
+    if (MaxCount == 0)
+      return 0;
+    PopResult<Value> Inline[BatchInlineCapacity];
+    std::vector<PopResult<Value>> Heap;
+    PopResult<Value> *Results = Inline;
+    if (MaxCount > BatchInlineCapacity) {
+      Heap.resize(MaxCount);
+      Results = Heap.data();
+    }
+    const std::size_t Applied = Strong.strongApplyBatch(
+        Tid, MaxCount,
+        [this](std::size_t) -> std::optional<PopResult<Value>> {
+          const PopResult<Value> Res = Weak.tryPopRight();
+          if (Res.isAbort())
+            return std::nullopt;
+          return Res;
+        },
+        [](const PopResult<Value> &R) { return R.isEmpty(); },
+        Results);
+    std::size_t Got = 0;
+    for (std::size_t I = 0; I < Applied; ++I)
+      if (Results[I].isValue())
+        Out[Got++] = Results[I].value();
+    return Got;
+  }
+
+  /// Drains the right end: pop_all bounded by the caller's buffer.
+  std::size_t drain(std::uint32_t Tid, Value *Out, std::size_t MaxOut) {
+    return pop_all(Tid, Out, MaxOut);
+  }
+
   std::uint32_t capacity() const { return Weak.capacity(); }
   std::uint32_t sizeForTesting() const { return Weak.sizeForTesting(); }
   ObstructionFreeDeque &abortable() { return Weak; }
 
   /// Path-attributed metrics of the skeleton (obs/PathCounters.h).
   obs::PathSnapshot pathSnapshot() const { return Strong.pathSnapshot(); }
+
+  /// Resident bytes of the whole object: the header plus the weak
+  /// object's slot array and the skeleton's heap (doorway FLAG array,
+  /// combiner records, metric blocks). Feeds the bytes_per_element bench
+  /// column (obs/MetricsJson.h).
+  std::size_t footprintBytes() const {
+    std::size_t Bytes = sizeof(*this) + Strong.heapBytes();
+    if constexpr (requires { Weak.heapBytes(); })
+      Bytes += Weak.heapBytes();
+    return Bytes;
+  }
+
   obs::Path lastPath(std::uint32_t Tid) const {
     return Strong.metrics().lastPath(Tid);
   }

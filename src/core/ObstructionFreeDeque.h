@@ -44,6 +44,7 @@
 #include "support/SpinWait.h"
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -177,6 +178,11 @@ public:
 
   /// Usable capacity (excludes the two sentinels).
   std::uint32_t capacity() const { return Slots - 2; }
+
+  /// Heap owned by the deque: the slot array (capacity + 2 sentinels).
+  std::size_t heapBytes() const {
+    return std::size_t{Slots} * sizeof(AtomicRegister<std::uint64_t>);
+  }
 
   /// Left free slots at construction (positional spec parameter).
   std::uint32_t initialLeftSlots() const { return LeftCount; }

@@ -41,6 +41,10 @@ public:
   static PopResult empty() { return PopResult(Kind::Empty, ValueT{}); }
   static PopResult abort() { return PopResult(Kind::Abort, ValueT{}); }
 
+  /// Default-constructs as Empty, so result buffers (the batch wrappers'
+  /// scratch arrays) need no explicit fill.
+  PopResult() : PopResult(Kind::Empty, ValueT{}) {}
+
   Kind kind() const { return K; }
   bool isValue() const { return K == Kind::Value; }
   bool isEmpty() const { return K == Kind::Empty; }

@@ -42,6 +42,7 @@
 #include "support/SpinWait.h"
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -102,6 +103,12 @@ public:
   bool flagForTesting(std::uint32_t I) const {
     assert(I < N && "thread id out of range");
     return Flag[I].value().peekForTesting() != 0;
+  }
+
+  /// Heap owned by the arbiter: the padded per-thread FLAG array.
+  std::size_t heapBytes() const {
+    return std::size_t{N} *
+           sizeof(CacheLinePadded<AtomicRegister<std::uint8_t, Policy>>);
   }
 
 private:

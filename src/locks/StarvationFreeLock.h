@@ -29,6 +29,7 @@
 #include "locks/RecoverableArbiter.h"
 #include "locks/RoundRobinArbiter.h"
 
+#include <cstddef>
 #include <cstdint>
 
 namespace csobj {
@@ -57,6 +58,9 @@ public:
 
   /// The doorway (exposed for the fairness tests).
   RoundRobinArbiter &arbiter() { return Arbiter; }
+
+  /// Heap owned by the lock: the doorway's FLAG array.
+  std::size_t heapBytes() const { return Arbiter.heapBytes(); }
 
 private:
   RoundRobinArbiter Arbiter;

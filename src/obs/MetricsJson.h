@@ -17,9 +17,16 @@
 ///   path_combined     ops retired by a flat-combining batch
 ///   path_lock         ops retired by the doorway+lock protected retry
 ///   path_degraded     ops retired by the crash-tolerant Fig-2 fallback
+///   path_batched      ops retired inside a group API's single seam entry
 ///   shortcut_aborts, protected_retries, degraded_retries,
 ///   eliminated_pushes, eliminated_pops, combiner_batches, combined_ops,
 ///   doorway_timeouts, lease_timeouts   — event tallies
+///   combiner_batch_size_count/_mean/_max — the group-size histogram fed
+///   by onBatch(); at quiesce size sums equal path_batched
+///
+/// emitMemoryFootprint() names the memory-overhead columns
+/// (object_bytes, bytes_per_element) so E12/E14 report space alongside
+/// throughput.
 ///
 /// Note metric_ops counts skeleton entries, not harness operations: a
 /// sharded facade op may probe several shards (several skeleton entries),
@@ -59,6 +66,23 @@ void emitPathBreakdown(Reporter &Json, const PathSnapshot &S) {
   Json.field("combined_ops", S.event(Event::CombinedOp));
   Json.field("doorway_timeouts", S.event(Event::DoorwayTimeout));
   Json.field("lease_timeouts", S.event(Event::LeaseTimeout));
+  Json.field("combiner_batch_size_count", S.batchCount());
+  Json.field("combiner_batch_size_mean", S.batchMean());
+  Json.field("combiner_batch_size_max", S.BatchMax);
+}
+
+/// Appends the memory-overhead fields: the object's resident footprint
+/// and its per-slot amortization. \p Bytes is the adapter's estimate of
+/// the full allocation (object + dynamic arrays); \p Capacity the number
+/// of element slots it buys.
+template <typename Reporter>
+void emitMemoryFootprint(Reporter &Json, std::uint64_t Bytes,
+                         std::uint64_t Capacity) {
+  Json.field("object_bytes", Bytes);
+  Json.field("bytes_per_element",
+             Capacity ? static_cast<double>(Bytes) /
+                            static_cast<double>(Capacity)
+                      : 0.0);
 }
 
 } // namespace obs

@@ -17,13 +17,17 @@
 ///   Combined    a flat-combining batch executed the published request
 ///   Lock        the doorway + lock protected retry (Fig. 3 lines 04-13)
 ///   Degraded    the crash-tolerant Fig. 2 fallback loop
+///   Batched     a group API (push_all/pop_all/drain) applied the op as
+///               part of one k-op seam acquisition
 ///
 /// plus event tallies (shortcut aborts, retries, combiner batches,
 /// elimination pairings, patience timeouts) that attribute *why* an
-/// operation left its path. Ops is counted once at strongApply entry, so
-/// `Ops == Shortcut + Eliminated + Combined + Lock + Degraded` is a
+/// operation left its path. Ops is counted once at strongApply entry
+/// (once per element of a batch), so `Ops == Σ path counters` is a
 /// mechanically checkable conservation law, not trusted telemetry — the
-/// conformance battery asserts it after every stress round.
+/// conformance battery asserts it after every stress round. Batched ops
+/// additionally feed a group-size histogram (onBatch), whose element sum
+/// must equal the Batched path counter at quiesce.
 ///
 /// Counter placement vs. the six-access proof: the blocks are plain
 /// `std::atomic` relaxed counters in per-thread cache-line-padded slots —
@@ -45,6 +49,8 @@
 #include "support/CacheLine.h"
 
 #include <atomic>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <type_traits>
@@ -59,10 +65,11 @@ enum class Path : std::uint8_t {
   Combined,
   Lock,
   Degraded,
-  None, ///< Sentinel: no operation recorded yet / metrics compiled out.
+  Batched, ///< Applied inside a k-op group's single seam acquisition.
+  None,    ///< Sentinel: no operation recorded yet / metrics compiled out.
 };
 
-inline constexpr unsigned NumPaths = 5;
+inline constexpr unsigned NumPaths = 6;
 
 /// Short lower-case label for tables and JSON field suffixes.
 inline const char *pathName(Path P) {
@@ -77,6 +84,8 @@ inline const char *pathName(Path P) {
     return "lock";
   case Path::Degraded:
     return "degraded";
+  case Path::Batched:
+    return "batched";
   case Path::None:
     break;
   }
@@ -99,12 +108,28 @@ enum class Event : std::uint8_t {
 
 inline constexpr unsigned NumEvents = 9;
 
+/// Log2 size classes of the batch-group histogram: bucket I counts
+/// groups of k in [2^I, 2^(I+1)); the last bucket absorbs everything
+/// larger.
+inline constexpr unsigned NumBatchBuckets = 8;
+
+/// Bucket index of a group of \p K ops (K >= 1).
+inline constexpr unsigned batchBucket(std::uint64_t K) {
+  const unsigned B = K ? static_cast<unsigned>(std::bit_width(K)) - 1 : 0;
+  return B < NumBatchBuckets ? B : NumBatchBuckets - 1;
+}
+
 /// Aggregated value snapshot of one sink (or a sum of sinks). Exact once
 /// the object is quiescent; approximate mid-run.
 struct PathSnapshot {
   std::uint64_t Ops = 0; ///< strongApply entries.
   std::uint64_t Paths[NumPaths] = {};
   std::uint64_t Events[NumEvents] = {};
+  /// Batch-group size histogram (onBatch calls, log2 buckets), the sum
+  /// of all group sizes and the largest group seen.
+  std::uint64_t BatchBuckets[NumBatchBuckets] = {};
+  std::uint64_t BatchOps = 0;
+  std::uint64_t BatchMax = 0;
 
   std::uint64_t path(Path P) const {
     return Paths[static_cast<unsigned>(P)];
@@ -113,7 +138,7 @@ struct PathSnapshot {
     return Events[static_cast<unsigned>(E)];
   }
 
-  /// Sum of the five terminal path counters.
+  /// Sum of the terminal path counters.
   std::uint64_t pathTotal() const {
     std::uint64_t Total = 0;
     for (unsigned I = 0; I < NumPaths; ++I)
@@ -121,10 +146,26 @@ struct PathSnapshot {
     return Total;
   }
 
+  /// Number of batch groups recorded (sum of the histogram buckets).
+  std::uint64_t batchCount() const {
+    std::uint64_t Total = 0;
+    for (unsigned I = 0; I < NumBatchBuckets; ++I)
+      Total += BatchBuckets[I];
+    return Total;
+  }
+
+  /// Mean group size over all recorded batches (0 when none).
+  double batchMean() const {
+    const std::uint64_t Count = batchCount();
+    return Count ? static_cast<double>(BatchOps) / static_cast<double>(Count)
+                 : 0.0;
+  }
+
   /// The conservation laws the battery asserts at quiesce:
   ///  * every entered operation retired through exactly one path,
   ///  * elimination pairings balance (each give met exactly one take),
-  ///  * every degradation has exactly one patience-timeout cause.
+  ///  * every degradation has exactly one patience-timeout cause,
+  ///  * every batched op belongs to exactly one recorded group.
   /// Holds for any crash-free execution; a crash-stopped thread may
   /// leave one entered-but-unretired operation per crash.
   bool conserves() const {
@@ -133,7 +174,8 @@ struct PathSnapshot {
            path(Path::Eliminated) ==
                event(Event::EliminatedPush) + event(Event::EliminatedPop) &&
            path(Path::Degraded) ==
-               event(Event::DoorwayTimeout) + event(Event::LeaseTimeout);
+               event(Event::DoorwayTimeout) + event(Event::LeaseTimeout) &&
+           path(Path::Batched) == BatchOps;
   }
 
   PathSnapshot &operator+=(const PathSnapshot &Other) {
@@ -142,6 +184,11 @@ struct PathSnapshot {
       Paths[I] += Other.Paths[I];
     for (unsigned I = 0; I < NumEvents; ++I)
       Events[I] += Other.Events[I];
+    for (unsigned I = 0; I < NumBatchBuckets; ++I)
+      BatchBuckets[I] += Other.BatchBuckets[I];
+    BatchOps += Other.BatchOps;
+    if (Other.BatchMax > BatchMax)
+      BatchMax = Other.BatchMax;
     return *this;
   }
 };
@@ -157,12 +204,14 @@ class MetricSink {
 public:
   explicit MetricSink(std::uint32_t /*NumThreads*/) {}
 
-  void onOp(std::uint32_t /*Tid*/) {}
-  void onPath(std::uint32_t /*Tid*/, Path /*P*/) {}
+  void onOp(std::uint32_t /*Tid*/, std::uint64_t /*N*/ = 1) {}
+  void onPath(std::uint32_t /*Tid*/, Path /*P*/, std::uint64_t /*N*/ = 1) {}
   void onEvent(std::uint32_t /*Tid*/, Event /*E*/, std::uint64_t /*N*/ = 1) {}
+  void onBatch(std::uint32_t /*Tid*/, std::uint64_t /*K*/) {}
   Path lastPath(std::uint32_t /*Tid*/) const { return Path::None; }
   PathSnapshot snapshot() const { return {}; }
   void reset() {}
+  std::size_t heapBytes() const { return 0; }
 };
 
 static_assert(std::is_empty_v<MetricSink>,
@@ -181,20 +230,40 @@ public:
   explicit MetricSink(std::uint32_t NumThreads)
       : N(NumThreads), Blocks(new Block[NumThreads]) {}
 
-  /// One strongApply entry (counted before the path is known).
-  void onOp(std::uint32_t Tid) { bump(Tid, OpsSlot); }
+  /// One strongApply entry per op (counted before the path is known);
+  /// a batch books one entry per element, so \p N lets group paths book
+  /// their elements in one call.
+  void onOp(std::uint32_t Tid, std::uint64_t N = 1) {
+    Blocks[Tid].C[OpsSlot].fetch_add(N, std::memory_order_relaxed);
+  }
 
-  /// The operation's terminal path — exactly one call per onOp.
-  void onPath(std::uint32_t Tid, Path P) {
+  /// The operation's terminal path — exactly one booking per onOp entry
+  /// (\p N ops at once for group paths).
+  void onPath(std::uint32_t Tid, Path P, std::uint64_t N = 1) {
     Block &B = Blocks[Tid];
     B.C[PathBase + static_cast<unsigned>(P)].fetch_add(
-        1, std::memory_order_relaxed);
+        N, std::memory_order_relaxed);
     B.Last.store(static_cast<std::uint8_t>(P), std::memory_order_relaxed);
   }
 
   void onEvent(std::uint32_t Tid, Event E, std::uint64_t Count = 1) {
     Blocks[Tid].C[EventBase + static_cast<unsigned>(E)].fetch_add(
         Count, std::memory_order_relaxed);
+  }
+
+  /// One group of \p K ops applied under a single seam acquisition (one
+  /// lock tenure or one combiner record). Feeds the combiner_batch_size
+  /// histogram; at quiesce the recorded sizes sum to the Batched path
+  /// counter.
+  void onBatch(std::uint32_t Tid, std::uint64_t K) {
+    Block &B = Blocks[Tid];
+    B.C[BatchBucketBase + batchBucket(K)].fetch_add(
+        1, std::memory_order_relaxed);
+    B.C[BatchOpsSlot].fetch_add(K, std::memory_order_relaxed);
+    // Max is owner-written like every other slot in the block; a plain
+    // read-check-store keeps it a relaxed counter, not a CAS loop.
+    if (K > B.C[BatchMaxSlot].load(std::memory_order_relaxed))
+      B.C[BatchMaxSlot].store(K, std::memory_order_relaxed);
   }
 
   /// Terminal path of \p Tid's most recent completed operation (None
@@ -215,6 +284,14 @@ public:
         S.Paths[I] += B.C[PathBase + I].load(std::memory_order_relaxed);
       for (unsigned I = 0; I < NumEvents; ++I)
         S.Events[I] += B.C[EventBase + I].load(std::memory_order_relaxed);
+      for (unsigned I = 0; I < NumBatchBuckets; ++I)
+        S.BatchBuckets[I] +=
+            B.C[BatchBucketBase + I].load(std::memory_order_relaxed);
+      S.BatchOps += B.C[BatchOpsSlot].load(std::memory_order_relaxed);
+      const std::uint64_t Max =
+          B.C[BatchMaxSlot].load(std::memory_order_relaxed);
+      if (Max > S.BatchMax)
+        S.BatchMax = Max;
     }
     return S;
   }
@@ -230,11 +307,19 @@ public:
     }
   }
 
+  /// Heap owned by the sink: one padded counter block per thread. Feeds
+  /// the bytes_per_element bench column (obs/MetricsJson.h); zero under
+  /// CSOBJ_NO_METRICS, so the column isolates the algorithm's footprint.
+  std::size_t heapBytes() const { return std::size_t{N} * sizeof(Block); }
+
 private:
   static constexpr unsigned OpsSlot = 0;
   static constexpr unsigned PathBase = 1;
   static constexpr unsigned EventBase = PathBase + NumPaths;
-  static constexpr unsigned NumSlots = EventBase + NumEvents;
+  static constexpr unsigned BatchBucketBase = EventBase + NumEvents;
+  static constexpr unsigned BatchOpsSlot = BatchBucketBase + NumBatchBuckets;
+  static constexpr unsigned BatchMaxSlot = BatchOpsSlot + 1;
+  static constexpr unsigned NumSlots = BatchMaxSlot + 1;
 
   struct alignas(CacheLineSize) Block {
     std::atomic<std::uint64_t> C[NumSlots] = {};
@@ -242,10 +327,6 @@ private:
   };
   static_assert(occupiesWholeCacheLines<Block>,
                 "adjacent thread blocks must never share a line");
-
-  void bump(std::uint32_t Tid, unsigned Slot) {
-    Blocks[Tid].C[Slot].fetch_add(1, std::memory_order_relaxed);
-  }
 
   std::uint32_t N;
   std::unique_ptr<Block[]> Blocks;

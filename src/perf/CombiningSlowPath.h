@@ -42,6 +42,11 @@
 ///    fields are always separated by this State acquire/release
 ///    handshake, so the protocol is TSan-clean.
 ///
+/// Batch records (strongApplyBatch): a group API publishes its whole
+/// contended remainder as ONE record whose trampoline applies k ops with
+/// a resume cursor — one publication, one handoff and one Ready store
+/// amortized over k elements. See the method comment for the contract.
+///
 /// Progress: deadlock-free, not starvation-free — a specific publisher
 /// can in principle lose the CombinerBusy C&S forever while others are
 /// served. This deliberately sits between Figure 3 (starvation-free) and
@@ -62,6 +67,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -125,6 +131,78 @@ public:
     return *Req.Out;
   }
 
+  /// Group form of strongApply — the reason this skeleton exists. The
+  /// per-element shortcut prefix is identical to the Fig-3 batch (six
+  /// accesses per uncontended element), but on cutover the *entire
+  /// remainder* is published as ONE combiner record carrying k ops: the
+  /// combiner applies all k back to back under a single CombinerBusy
+  /// tenure (one handoff amortized over k elements, object lines hot in
+  /// one core's cache) and the publisher receives the batched results
+  /// through the same State handshake as a single op. \p WeakAt(I)
+  /// attempts op I; \p Stop(R) is the terminal answer that rejects the
+  /// batch's remainder (partial-batch rejection for bounded objects);
+  /// results land in Out[0..applied). Returns the number applied.
+  ///
+  /// A batch record can be applied across combiner visits: if op I
+  /// aborts against a straggler, run() returns false with ops 0..I-1
+  /// already applied and resumes from I at the next visit (same-record
+  /// accesses are ordered by the CombinerBusy/State protocol, so the
+  /// resume cursor needs no atomics). Progress is unchanged:
+  /// deadlock-free, not starvation-free.
+  template <typename WeakAtFn, typename StopFn, typename R>
+  std::size_t strongApplyBatch(std::uint32_t Tid, std::size_t Count,
+                               WeakAtFn WeakAt, StopFn Stop, R *Out) {
+    assert(Tid < N && "thread id out of range");
+    std::size_t I = 0;
+    while (I < Count) {                        // per-element shortcut
+      Sink.onOp(Tid);
+      if (Contention.value().read(std::memory_order_acquire) != 0)
+        break;                                 // element I stays counted
+      auto Res = WeakAt(I);
+      if (!Res) {
+        Sink.onEvent(Tid, obs::Event::ShortcutAbort);
+        break;                                 // adaptive cutover
+      }
+      Out[I] = *Res;
+      Sink.onPath(Tid, obs::Path::Shortcut);
+      ++I;
+      if (Stop(Out[I - 1]))
+        return I;
+    }
+    if (I == Count)
+      return I;
+
+    // Publish the remainder as a single k-op record.
+    BatchRequest<WeakAtFn, StopFn, R> Req{WeakAt, Stop, Out, I, Count};
+    Record &Mine = Records[Tid];
+    Mine.Req = &Req;
+    Mine.Run = &BatchRequest<WeakAtFn, StopFn, R>::run;
+    Mine.State.write(Pending, std::memory_order_release);
+
+    SpinWait Waiter;
+    while (Mine.State.read(std::memory_order_acquire) == Pending) {
+      if (CombinerBusy.value().compareAndSwap(0, 1,
+                                              std::memory_order_acq_rel)) {
+        combine(Tid);
+        CombinerBusy.value().write(0, std::memory_order_release);
+        continue;
+      }
+      Waiter.once();
+    }
+    Mine.State.write(EmptyRec, std::memory_order_release);
+
+    // Book the group: element I was op-counted by the shortcut loop;
+    // the combiner counted the whole record as one served request, so
+    // credit the remaining k-1 ops to the combined-op tallies here.
+    const std::uint64_t Grouped = Req.Next - I;
+    Sink.onOp(Tid, Grouped - 1);
+    Sink.onPath(Tid, obs::Path::Batched, Grouped);
+    Sink.onBatch(Tid, Grouped);
+    Sink.onEvent(Tid, obs::Event::CombinedOp, Grouped - 1);
+    CombinedOps.fetch_add(Grouped - 1, std::memory_order_relaxed);
+    return Req.Next;
+  }
+
   std::uint32_t numThreads() const { return N; }
 
   /// Path-attributed metrics (obs/PathCounters.h).
@@ -143,6 +221,12 @@ public:
   }
   std::uint64_t combinedOpsForTesting() const {
     return CombinedOps.load(std::memory_order_relaxed);
+  }
+
+  /// Heap owned by the skeleton: the per-thread publication records plus
+  /// the metric sink's blocks.
+  std::size_t heapBytes() const {
+    return std::size_t{N} * sizeof(Record) + Sink.heapBytes();
   }
 
   /// One publication record. Cache-line-aligned so a publisher storing
@@ -171,6 +255,34 @@ private:
         return true;
       }
       return false;
+    }
+  };
+
+  /// Type-erased k-op request (strongApplyBatch). Next is the resume
+  /// cursor: ops [Begin, Next) are applied, run() continues from Next.
+  /// Only the thread holding CombinerBusy (or, between visits, nobody)
+  /// touches the plain fields — the State handshake separates them from
+  /// the publisher's reads, exactly like CombineRequest.
+  template <typename WeakAtFn, typename StopFn, typename R>
+  struct BatchRequest {
+    WeakAtFn &At;
+    StopFn &Stop;
+    R *Out;
+    std::size_t Next;
+    std::size_t End;
+
+    static bool run(void *P) {
+      auto *B = static_cast<BatchRequest *>(P);
+      while (B->Next < B->End) {
+        auto Res = B->At(B->Next);
+        if (!Res)
+          return false; // straggler interference: resume here next visit
+        B->Out[B->Next] = *Res;
+        ++B->Next;
+        if (B->Stop(B->Out[B->Next - 1]))
+          break; // terminal answer: the batch's remainder is rejected
+      }
+      return true;
     }
   };
 

@@ -46,6 +46,7 @@
 #include "locks/TasLock.h"
 #include "perf/EliminationArray.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -145,6 +146,13 @@ public:
   /// Path-attributed metrics of the skeleton (obs/PathCounters.h); the
   /// Eliminated path and the pairing events are booked here too.
   obs::PathSnapshot pathSnapshot() const { return Strong.pathSnapshot(); }
+
+  /// Resident bytes: header plus the stack slots, skeleton heap and
+  /// elimination slots. Feeds the bytes_per_element bench column.
+  std::size_t footprintBytes() const {
+    return sizeof(*this) + Weak.heapBytes() + Strong.heapBytes() +
+           Elim.heapBytes();
+  }
   obs::Path lastPath(std::uint32_t Tid) const {
     return Strong.metrics().lastPath(Tid);
   }

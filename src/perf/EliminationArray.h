@@ -44,6 +44,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -166,6 +167,11 @@ public:
 
   std::uint32_t slotCount() const { return SlotCount; }
   std::uint32_t spinBudget() const { return SpinBudget; }
+
+  /// Heap owned by the array: the padded rendezvous slots.
+  std::size_t heapBytes() const {
+    return std::size_t{SlotCount} * sizeof(PaddedSlot);
+  }
 
   /// Completed rendezvous (counted once per pair, by the side that
   /// observes the Done handoff first — matcher and parked partner both

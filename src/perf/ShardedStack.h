@@ -32,6 +32,18 @@
 ///    bag-not-full witness (see perf/EliminatingStack.h; the argument
 ///    carries over verbatim because a bag push only needs "not full").
 ///
+/// The elimination array is armed at TWO seams. The home-shard probe
+/// runs through the shard skeleton's rescue window
+/// (strongApplyWithRescue): when the shortcut fails — CONTENTION up or
+/// a weak attempt aborted — the op tries to pair with an inverse op
+/// *before* competing for the shard's lock. This is the inter-shard
+/// balancer: it fires under ordinary mixed load, not only at capacity
+/// boundaries. The facade seam (above) additionally tries elimination
+/// after ALL shards answered Full/Empty, before certifying. Early
+/// versions armed only the facade seam, and E12 measured
+/// elimination_exchanges == 0 — the boundary is never reached in a
+/// half-full bag, so the balancer never ran.
+///
 /// Progress: each shard operation is starvation-free (Theorem 1 applies
 /// per shard), but the outer probe loop restarts when the double collect
 /// detects movement, so the facade as a whole is only obstruction-free
@@ -51,6 +63,7 @@
 
 #include <array>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -87,10 +100,26 @@ public:
   /// Bag push: Done, or Full on an all-full simultaneous witness.
   PushResult push(std::uint32_t Tid, Value V) {
     const std::uint32_t Home = Tid % NumShards;
+    if (ForceBalance) {
+      // Test knob: route through the balancer first, booking the facade
+      // sink so conservation stays exact (mirrors EliminatingStack's
+      // forceRescueForTesting).
+      if (Elim.tryGive(static_cast<std::uint32_t>(V), slotHint(Tid),
+                       notFullGate(Home))) {
+        Sink.onOp(Tid);
+        Sink.onPath(Tid, obs::Path::Eliminated);
+        Sink.onEvent(Tid, obs::Event::EliminatedPush);
+        return PushResult::Done;
+      }
+    }
     while (true) {
-      for (std::uint32_t I = 0; I < NumShards; ++I)
-        if (shard((Home + I) % NumShards).push(Tid, V) == PushResult::Done)
+      for (std::uint32_t I = 0; I < NumShards; ++I) {
+        const std::uint32_t S = (Home + I) % NumShards;
+        const PushResult Res = I == 0 ? balancedPush(Tid, S, V)
+                                      : shard(S).push(Tid, V);
+        if (Res == PushResult::Done)
           return PushResult::Done;
+      }
       // Every shard answered Full at its own instant. Before certifying,
       // try handing the value to a concurrent pop.
       if (Elim.tryGive(static_cast<std::uint32_t>(V), slotHint(Tid),
@@ -113,9 +142,19 @@ public:
   /// witness.
   PopResult<Value> pop(std::uint32_t Tid) {
     const std::uint32_t Home = Tid % NumShards;
+    if (ForceBalance) {
+      if (auto V = Elim.tryTake(slotHint(Tid), notFullGate(Home))) {
+        Sink.onOp(Tid);
+        Sink.onPath(Tid, obs::Path::Eliminated);
+        Sink.onEvent(Tid, obs::Event::EliminatedPop);
+        return PopResult<Value>::value(static_cast<Value>(*V));
+      }
+    }
     while (true) {
       for (std::uint32_t I = 0; I < NumShards; ++I) {
-        const PopResult<Value> Res = shard((Home + I) % NumShards).pop(Tid);
+        const std::uint32_t S = (Home + I) % NumShards;
+        const PopResult<Value> Res =
+            I == 0 ? balancedPop(Tid, S) : shard(S).pop(Tid);
         if (Res.isValue())
           return Res;
       }
@@ -129,6 +168,54 @@ public:
         return PopResult<Value>::empty();
     }
   }
+
+  /// Group push: fans the batch out across shards starting at home —
+  /// each shard applies its chunk through its own group seam (one lock
+  /// tenure per shard touched, not per element). Leftovers (every shard
+  /// answered Full mid-batch) fall back to the facade's per-element push
+  /// so elimination and the all-full certificate still apply; stops at
+  /// the first total Full answer. Returns the number pushed (a prefix of
+  /// Vs lands in the bag).
+  std::size_t push_all(std::uint32_t Tid, const Value *Vs,
+                       std::size_t Count) {
+    const std::uint32_t Home = Tid % NumShards;
+    std::size_t Pushed = 0;
+    for (std::uint32_t I = 0; I < NumShards && Pushed < Count; ++I)
+      Pushed += shard((Home + I) % NumShards)
+                    .push_all(Tid, Vs + Pushed, Count - Pushed);
+    while (Pushed < Count && push(Tid, Vs[Pushed]) == PushResult::Done)
+      ++Pushed;
+    return Pushed;
+  }
+
+  /// Group pop: drains up to \p MaxCount elements across shards starting
+  /// at home (per-shard group seam), then falls back to the facade's
+  /// per-element pop for the all-empty certificate. Returns the number
+  /// of values written to Out.
+  std::size_t pop_all(std::uint32_t Tid, Value *Out, std::size_t MaxCount) {
+    const std::uint32_t Home = Tid % NumShards;
+    std::size_t Got = 0;
+    for (std::uint32_t I = 0; I < NumShards && Got < MaxCount; ++I)
+      Got += shard((Home + I) % NumShards)
+                 .pop_all(Tid, Out + Got, MaxCount - Got);
+    while (Got < MaxCount) {
+      const PopResult<Value> Res = pop(Tid);
+      if (!Res.isValue())
+        break;
+      Out[Got++] = Res.value();
+    }
+    return Got;
+  }
+
+  /// Drains the bag: pop_all bounded by the caller's buffer.
+  std::size_t drain(std::uint32_t Tid, Value *Out, std::size_t MaxOut) {
+    return pop_all(Tid, Out, MaxOut);
+  }
+
+  /// Test knob: route every facade op through the elimination array
+  /// first, so a directed schedule can force an exchange without racing
+  /// the shards.
+  void forceBalancerForTesting(bool Force) { ForceBalance = Force; }
 
   std::uint32_t capacity() const { return PerShard * NumShards; }
   std::uint32_t shardCapacity() const { return PerShard; }
@@ -161,8 +248,66 @@ public:
     return Total;
   }
 
+  /// Resident bytes of the facade: its header (which embeds the shard
+  /// objects), each shard's heap, the balancer slots and the facade
+  /// sink's blocks. Feeds the bytes_per_element bench column.
+  std::size_t footprintBytes() const {
+    std::size_t Bytes = sizeof(*this) + Elim.heapBytes() + Sink.heapBytes();
+    for (std::uint32_t S = 0; S < NumShards; ++S)
+      Bytes += shardAt(S).footprintBytes() - sizeof(Shard);
+    return Bytes;
+  }
+
 private:
   const Shard &shardAt(std::uint32_t S) const { return *Shards[S]; }
+
+  /// Home-shard probe with the inter-shard balancer armed as the
+  /// skeleton's rescue window: a failed shortcut tries to hand the value
+  /// to a concurrent pop before competing for the shard's lock. The
+  /// contention-free execution is untouched (rescue never invoked), so
+  /// the solo six-access bound is preserved. Pairing books into the
+  /// shard skeleton's sink — strongApplyWithRescue books the Eliminated
+  /// path, the rescue lambda books the matching event, so per-sink
+  /// conservation stays exact.
+  PushResult balancedPush(std::uint32_t Tid, std::uint32_t S, Value V) {
+    Shard &Sh = shard(S);
+    return Sh.skeleton().strongApplyWithRescue(
+        Tid,
+        [&Sh, V]() -> std::optional<PushResult> {
+          const PushResult Res = Sh.abortable().weakPush(V);
+          if (Res == PushResult::Abort)
+            return std::nullopt;
+          return Res;
+        },
+        [this, &Sh, Tid, S, V]() -> std::optional<PushResult> {
+          if (Elim.tryGive(static_cast<std::uint32_t>(V), slotHint(Tid),
+                           notFullGate(S))) {
+            Sh.skeleton().metrics().onEvent(Tid,
+                                            obs::Event::EliminatedPush);
+            return PushResult::Done;
+          }
+          return std::nullopt;
+        });
+  }
+
+  PopResult<Value> balancedPop(std::uint32_t Tid, std::uint32_t S) {
+    Shard &Sh = shard(S);
+    return Sh.skeleton().strongApplyWithRescue(
+        Tid,
+        [&Sh]() -> std::optional<PopResult<Value>> {
+          const PopResult<Value> Res = Sh.abortable().weakPop();
+          if (Res.isAbort())
+            return std::nullopt;
+          return Res;
+        },
+        [this, &Sh, Tid, S]() -> std::optional<PopResult<Value>> {
+          if (auto V = Elim.tryTake(slotHint(Tid), notFullGate(S))) {
+            Sh.skeleton().metrics().onEvent(Tid, obs::Event::EliminatedPop);
+            return PopResult<Value>::value(static_cast<Value>(*V));
+          }
+          return std::nullopt;
+        });
+  }
 
   /// Bag-not-full gate for the matcher: one instrumented read of the
   /// home shard's TOP showing room there (conservative — declines when
@@ -207,6 +352,7 @@ private:
   const std::uint32_t PerShard;
   std::array<std::optional<Shard>, NumShards> Shards;
   EliminationArrayT<Policy> Elim;
+  bool ForceBalance = false;
   [[no_unique_address]] mutable obs::MetricSink Sink{N};
 };
 

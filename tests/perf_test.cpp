@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "memory/AccessCounter.h"
+#include "memory/ChaosHook.h"
 #include "perf/CombiningObjects.h"
 #include "perf/EliminatingStack.h"
 #include "perf/EliminationArray.h"
@@ -284,6 +285,152 @@ TEST(ShardedStack, StressConservesElements) {
   ASSERT_GE(Net, 0);
   EXPECT_EQ(S.sizeForTesting(), static_cast<std::uint32_t>(Net))
       << "pushes minus pops must equal the residual size";
+}
+
+//===----------------------------------------------------------------------===
+// Sharded stack: the inter-shard balancer actually exchanges
+//===----------------------------------------------------------------------===
+
+/// Directed exchange through the forced balancer: the push parks its
+/// value in the elimination slot, then the pop matches it — the pair
+/// never touches any shard. This is the facade seam in isolation.
+TEST(ShardedBalancer, ForcedDirectedPairExchanges) {
+  ShardedStack<2> S(2, 4, /*SlotCount=*/1, /*SpinBudget=*/8);
+  S.forceBalancerForTesting(true);
+  std::optional<PushResult> Pushed;
+  PopResult<std::uint32_t> Popped = PopResult<std::uint32_t>::empty();
+  std::uint32_t GiverGrants = 0;
+  InterleaveScheduler Scheduler(2);
+  Scheduler.run(
+      {[&] { Pushed = S.push(0, 42); }, [&] { Popped = S.pop(1); }},
+      [&](std::size_t, const std::vector<std::uint32_t> &Parked)
+          -> std::uint32_t {
+        const bool HasGiver =
+            std::find(Parked.begin(), Parked.end(), 0u) != Parked.end();
+        const bool HasTaker =
+            std::find(Parked.begin(), Parked.end(), 1u) != Parked.end();
+        // Giver: slot read + park C&S, leaving 42 waiting in the slot...
+        if (GiverGrants < 2 && HasGiver) {
+          ++GiverGrants;
+          return 0;
+        }
+        // ...then the taker matches it (slot read, gate read, pair C&S).
+        if (HasTaker)
+          return 1;
+        return Parked.front();
+      });
+  ASSERT_TRUE(Pushed.has_value());
+  EXPECT_EQ(*Pushed, PushResult::Done);
+  ASSERT_TRUE(Popped.isValue());
+  EXPECT_EQ(Popped.value(), 42u);
+  EXPECT_EQ(S.eliminationExchangesForTesting(), 2u)
+      << "one exchange per matched operation";
+  EXPECT_EQ(S.sizeForTesting(), 0u) << "the pair bypassed every shard";
+  if constexpr (obs::MetricsEnabled) {
+    const obs::PathSnapshot Snap = S.pathSnapshot();
+    EXPECT_EQ(Snap.Ops, 2u);
+    EXPECT_EQ(Snap.path(obs::Path::Eliminated), 2u);
+    EXPECT_TRUE(Snap.conserves());
+  }
+}
+
+/// Directed exchange through the *rescue-window* seam — the production
+/// balancer path, no test knob: T2's completed pop invalidates both
+/// T0's pop snapshot and T1's push snapshot; T1's failed shortcut parks
+/// its value in the slot via the rescue window, and T0's failed
+/// shortcut takes it via its own rescue window. Mid-bag load (neither
+/// full nor empty), so the old boundary-only seam would never fire —
+/// this is the regression test for the E12 "0 exchanges" finding.
+TEST(ShardedBalancer, RescueWindowDirectedPairExchanges) {
+  ShardedStack<1> S(3, 4, /*SlotCount=*/1, /*SpinBudget=*/8);
+  ASSERT_EQ(S.push(0, 5), PushResult::Done);
+  ASSERT_EQ(S.push(0, 6), PushResult::Done);
+  PopResult<std::uint32_t> Pop0 = PopResult<std::uint32_t>::empty();
+  std::optional<PushResult> Push1;
+  PopResult<std::uint32_t> Pop2 = PopResult<std::uint32_t>::empty();
+  std::uint32_t Grants0 = 0;
+  std::uint32_t Grants1 = 0;
+  InterleaveScheduler Scheduler(3);
+  Scheduler.run(
+      {[&] { Pop0 = S.pop(0); }, [&] { Push1 = S.push(1, 9); },
+       [&] { Pop2 = S.pop(2); }},
+      [&](std::size_t, const std::vector<std::uint32_t> &Parked)
+          -> std::uint32_t {
+        auto Has = [&](std::uint32_t Tid) {
+          return std::find(Parked.begin(), Parked.end(), Tid) !=
+                 Parked.end();
+        };
+        // T0 (pop) and T1 (push) park just before their TOP C&S...
+        if (Grants0 < 5 && Has(0)) {
+          ++Grants0;
+          return 0;
+        }
+        if (Grants1 < 5 && Has(1)) {
+          ++Grants1;
+          return 1;
+        }
+        // ...T2's pop completes, invalidating both snapshots...
+        if (Has(2))
+          return 2;
+        // ...T1's C&S fails; its rescue window parks 9 in the slot
+        // (failed C&S + slot read + park C&S)...
+        if (Grants1 < 8 && Has(1)) {
+          ++Grants1;
+          return 1;
+        }
+        // ...T0's C&S fails; its rescue window matches (failed C&S +
+        // slot read + gate read + pair C&S) and T0 runs to completion...
+        if (Has(0))
+          return 0;
+        // ...then T1 notices Done and completes its give.
+        return Parked.front();
+      });
+  ASSERT_TRUE(Push1.has_value());
+  EXPECT_EQ(*Push1, PushResult::Done) << "push eliminated via rescue";
+  ASSERT_TRUE(Pop0.isValue());
+  EXPECT_EQ(Pop0.value(), 9u) << "pop received the eliminated value";
+  ASSERT_TRUE(Pop2.isValue());
+  EXPECT_EQ(Pop2.value(), 6u);
+  EXPECT_EQ(S.eliminationExchangesForTesting(), 2u);
+  EXPECT_EQ(S.sizeForTesting(), 1u)
+      << "the eliminated pair must not disturb the shard";
+  if constexpr (obs::MetricsEnabled) {
+    const obs::PathSnapshot Snap = S.pathSnapshot();
+    EXPECT_EQ(Snap.path(obs::Path::Eliminated), 2u);
+    EXPECT_TRUE(Snap.conserves());
+  }
+}
+
+/// Wall-clock sanity for the same seam: chaos-injected preemption makes
+/// shortcut aborts (hence rescue windows) frequent; paired push/pop
+/// traffic through them must produce nonzero exchanges within a few
+/// rounds — the balancer works under load, not only under direction.
+TEST(ShardedBalancer, RescueWindowExchangesUnderChaosLoad) {
+  for (std::uint32_t Round = 0; Round < 20; ++Round) {
+    constexpr std::uint32_t Threads = 4;
+    ShardedStack<2> S(Threads, 8, /*SlotCount=*/2, /*SpinBudget=*/64);
+    SpinBarrier Barrier(Threads);
+    std::vector<std::thread> Workers;
+    for (std::uint32_t T = 0; T < Threads; ++T)
+      Workers.emplace_back([&, T] {
+        ChaosHook Chaos(/*Seed=*/0xE11Full + Round * 31 + T,
+                        /*YieldPermille=*/350);
+        SchedHookScope Scope(Chaos);
+        Barrier.arriveAndWait();
+        for (std::uint32_t I = 0; I < 400; ++I) {
+          if ((T + I) % 2 == 0)
+            (void)S.push(T, (I % 1000) + 1);
+          else
+            (void)S.pop(T);
+        }
+      });
+    for (auto &W : Workers)
+      W.join();
+    EXPECT_TRUE(S.pathSnapshot().conserves());
+    if (S.eliminationExchangesForTesting() > 0)
+      return; // seam exercised under real threads
+  }
+  FAIL() << "no elimination exchange in 20 chaos rounds";
 }
 
 //===----------------------------------------------------------------------===
