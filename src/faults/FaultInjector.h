@@ -33,6 +33,7 @@
 #include "memory/SchedHook.h"
 #include "sched/InterleaveScheduler.h"
 #include "support/SpinWait.h"
+#include "support/SplitMix64.h"
 
 #include <algorithm>
 #include <atomic>
@@ -56,6 +57,34 @@ struct FaultClock {
   std::atomic<std::uint64_t> Ticks{0};
 };
 
+/// Consecutive progress-free waits before a stall expires early (the
+/// escape hatch shared by every wall-clock stall executor).
+inline constexpr std::uint32_t StallIdleYieldCap = 512;
+
+/// Holds the calling thread until \p Grants foreign accesses have ticked
+/// \p Clock. Escape hatch: if the clock stops advancing (the victim is
+/// the only live thread, or every other thread is itself stalled) the
+/// stall expires after a bounded quiet spell instead of deadlocking the
+/// run or burning a grant-proportional wait. Shared by FaultInjector and
+/// the soak harness's campaign hook (src/soak/FaultCampaign.h).
+inline void stallUntilForeignGrants(FaultClock &Clock, std::uint64_t Grants) {
+  const std::uint64_t Start = Clock.Ticks.load(std::memory_order_relaxed);
+  std::uint64_t LastSeen = Start;
+  std::uint32_t Idle = 0;
+  SpinWait Waiter;
+  while (Clock.Ticks.load(std::memory_order_relaxed) - Start < Grants) {
+    Waiter.once();
+    const std::uint64_t Now = Clock.Ticks.load(std::memory_order_relaxed);
+    if (Now == LastSeen) {
+      if (++Idle > StallIdleYieldCap)
+        break;
+    } else {
+      LastSeen = Now;
+      Idle = 0;
+    }
+  }
+}
+
 /// Per-thread wall-clock fault executor. Install with SchedHookScope.
 /// Chains to an optional inner hook (e.g. ChaosHook) so fault plans and
 /// randomized asynchrony compose.
@@ -63,10 +92,18 @@ class FaultInjector final : public SchedHook {
 public:
   FaultInjector(const FaultPlan &Plan, std::uint32_t Tid, FaultClock &Clock,
                 SchedHook *Inner = nullptr)
-      : Clock(Clock), Inner(Inner) {
-    for (const FaultSpec &Spec : Plan.Faults)
-      if (Spec.Tid == Tid)
+      : Clock(Clock), Inner(Inner),
+        RateRng(SplitMix64(Plan.RateSeed).split(Tid)) {
+    for (const FaultSpec &Spec : Plan.Faults) {
+      if (Spec.Tid != Tid)
+        continue;
+      if (Spec.RatePermille != 0)
+        RateBased.push_back(Spec);
+      else if (Spec.Period != 0)
+        Recurring.push_back(Spec);
+      else
         Pending.push_back(Spec);
+    }
     std::sort(Pending.begin(), Pending.end(),
               [](const FaultSpec &A, const FaultSpec &B) {
                 return A.AtAccess < B.AtAccess;
@@ -78,50 +115,50 @@ public:
       Inner->beforeSharedAccess(Kind);
     Clock.Ticks.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t Index = NextAccess++;
-    if (Next >= Pending.size() || Pending[Next].AtAccess != Index)
+    // At most one fault per access; one-shots outrank recurring outrank
+    // rate-based, so a deterministic plan stays deterministic even when
+    // a rate channel rides along.
+    if (Next < Pending.size() && Pending[Next].AtAccess == Index) {
+      fire(Pending[Next++]);
       return;
-    const FaultSpec Spec = Pending[Next++];
-    if (Spec.Kind == FaultKind::CrashStop)
-      throw ProcessCrash{};
-    stall(Spec.StallGrants);
+    }
+    for (const FaultSpec &Spec : Recurring) {
+      if (Index < Spec.AtAccess || (Index - Spec.AtAccess) % Spec.Period != 0)
+        continue;
+      fire(Spec);
+      return;
+    }
+    for (const FaultSpec &Spec : RateBased) {
+      if (!RateRng.chance(Spec.RatePermille, 1000))
+        continue;
+      fire(Spec);
+      return;
+    }
   }
 
   /// Number of accesses this thread has attempted so far.
   std::uint64_t accessesSeen() const { return NextAccess; }
 
-private:
-  /// Holds the thread until \p Grants foreign accesses have ticked the
-  /// clock. Escape hatch: if the clock stops advancing (the victim is
-  /// the only live thread, or every other thread is itself stalled) the
-  /// stall expires after a bounded quiet spell instead of deadlocking
-  /// the run or burning a grant-proportional wait.
-  void stall(std::uint64_t Grants) {
-    const std::uint64_t Start = Clock.Ticks.load(std::memory_order_relaxed);
-    std::uint64_t LastSeen = Start;
-    std::uint32_t Idle = 0;
-    SpinWait Waiter;
-    while (Clock.Ticks.load(std::memory_order_relaxed) - Start < Grants) {
-      Waiter.once();
-      const std::uint64_t Now =
-          Clock.Ticks.load(std::memory_order_relaxed);
-      if (Now == LastSeen) {
-        if (++Idle > IdleYieldCap)
-          break;
-      } else {
-        LastSeen = Now;
-        Idle = 0;
-      }
-    }
-  }
+  /// Faults delivered so far (crashes thrown + stalls completed).
+  std::uint64_t faultsFired() const { return Fired; }
 
-  /// Consecutive progress-free waits before a stall expires early.
-  static constexpr std::uint32_t IdleYieldCap = 512;
+private:
+  void fire(const FaultSpec &Spec) {
+    ++Fired;
+    if (Spec.Kind == FaultKind::CrashStop)
+      throw ProcessCrash{};
+    stallUntilForeignGrants(Clock, Spec.StallGrants);
+  }
 
   FaultClock &Clock;
   SchedHook *Inner;
-  std::vector<FaultSpec> Pending;
+  std::vector<FaultSpec> Pending;   ///< One-shots, sorted by AtAccess.
+  std::vector<FaultSpec> Recurring; ///< Period-triggered specs.
+  std::vector<FaultSpec> RateBased; ///< Probability-triggered specs.
+  SplitMix64 RateRng;
   std::size_t Next = 0;
   std::uint64_t NextAccess = 0;
+  std::uint64_t Fired = 0;
 };
 
 /// Adapts a FaultPlan to the InterleaveScheduler: wraps \p Base so that a
@@ -129,8 +166,12 @@ private:
 /// AtAccess-th granted access, and a planned stall keeps the victim
 /// parked until StallGrants foreign accesses have been granted (or no
 /// other thread can run, in which case the stall expires — mirroring the
-/// wall-clock escape hatch). The returned policy owns its per-thread
-/// grant counters, so build a fresh one per run.
+/// wall-clock escape hatch). Recurring specs (Period > 0) are never
+/// consumed and re-fire at every matching access index; rate-based specs
+/// fire from a per-victim stream derived from the plan's RateSeed, so a
+/// given plan explores the same faulty schedule every run. The returned
+/// policy owns its per-thread grant counters, so build a fresh one per
+/// run.
 inline InterleaveScheduler::PickFn
 faultPlanPick(FaultPlan Plan, InterleaveScheduler::PickFn Base =
                                   [](std::size_t,
@@ -141,17 +182,40 @@ faultPlanPick(FaultPlan Plan, InterleaveScheduler::PickFn Base =
     FaultPlan Plan;
     InterleaveScheduler::PickFn Base;
     std::vector<char> Consumed;         ///< One-shot flag per plan entry.
+    /// Recurring specs only: first access count at which the spec may
+    /// fire again. A fired stall does not grant the access (the count
+    /// does not advance), so without this guard a recurring spec would
+    /// re-trigger at the same index the moment its stall expired.
+    std::vector<std::uint64_t> NextEligible;
     std::vector<std::uint64_t> Granted; ///< Per-tid granted-access counts.
+    std::vector<SplitMix64> RateRngs;   ///< Per-tid rate-trigger streams.
     std::uint64_t TotalGrants = 0;
     /// Active stall: victim tid and the TotalGrants value at which it
     /// may run again. ~0 tid = none.
     std::uint32_t StalledTid = ~std::uint32_t{0};
     std::uint64_t StallUntil = 0;
+
+    /// Does \p Spec trigger at the victim's \p Count-th granted access?
+    /// Draws from the victim's rate stream when the spec is rate-based.
+    bool triggers(const FaultSpec &Spec, std::uint32_t Tid,
+                  std::uint64_t Count) {
+      if (Spec.RatePermille != 0) {
+        if (Tid >= RateRngs.size())
+          for (std::uint32_t T = RateRngs.size(); T <= Tid; ++T)
+            RateRngs.push_back(SplitMix64(Plan.RateSeed).split(T));
+        return RateRngs[Tid].chance(Spec.RatePermille, 1000);
+      }
+      if (Spec.Period != 0)
+        return Count >= Spec.AtAccess &&
+               (Count - Spec.AtAccess) % Spec.Period == 0;
+      return Spec.AtAccess == Count;
+    }
   };
   auto S = std::make_shared<State>();
   S->Plan = std::move(Plan);
   S->Base = std::move(Base);
   S->Consumed.assign(S->Plan.Faults.size(), 0);
+  S->NextEligible.assign(S->Plan.Faults.size(), 0);
 
   return [S](std::size_t Step,
              const std::vector<std::uint32_t> &Parked) -> std::uint32_t {
@@ -184,9 +248,14 @@ faultPlanPick(FaultPlan Plan, InterleaveScheduler::PickFn Base =
     // Does a fault trigger at this access of the chosen thread?
     for (std::size_t I = 0; I < S->Plan.Faults.size(); ++I) {
       const FaultSpec &Spec = S->Plan.Faults[I];
-      if (S->Consumed[I] || Spec.Tid != Chosen || Spec.AtAccess != Count)
+      if (S->Consumed[I] || Spec.Tid != Chosen ||
+          Count < S->NextEligible[I] || !S->triggers(Spec, Chosen, Count))
         continue;
-      S->Consumed[I] = 1;
+      // Recurring and rate-based specs stay armed and may re-fire (at a
+      // strictly later access count).
+      if (Spec.Period == 0 && Spec.RatePermille == 0)
+        S->Consumed[I] = 1;
+      S->NextEligible[I] = Count + 1;
       if (Spec.Kind == FaultKind::CrashStop) {
         // The access is not granted (KillFlag unwinds before it runs),
         // so the per-thread count does not advance.

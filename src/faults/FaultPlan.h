@@ -30,6 +30,14 @@
 ///    lock holder preempted long enough for a waiter's patience to run
 ///    out, without the holder actually dying.
 ///
+/// Trigger shapes: besides the original one-shot at-access-K trigger, a
+/// spec may be *recurring* (re-fires every Period accesses) or
+/// *rate-based* (fires with a per-access probability from a seeded
+/// stream). Recurring/rate plans are what the soak harness
+/// (src/soak/FaultCampaign.h) builds its sustained fault campaigns from;
+/// under the closed-loop Driver a recurring crash degenerates to a
+/// one-shot because the victim is never resurrected.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSOBJ_FAULTS_FAULTPLAN_H
@@ -48,6 +56,20 @@ enum class FaultKind : std::uint8_t {
 
 /// One fault: thread \p Tid misbehaves at its \p AtAccess-th shared
 /// access (0-based, counted per thread).
+///
+/// Trigger shapes (checked in this order; a spec has exactly one):
+///
+///  * one-shot (Period == 0, RatePermille == 0) — fires once, at access
+///    index AtAccess. The original crashAt/stallAt semantics.
+///  * recurring (Period > 0) — fires at AtAccess, AtAccess + Period,
+///    AtAccess + 2*Period, ... A recurring CrashStop is meaningful only
+///    for harnesses that resurrect the victim (the soak harness does);
+///    under the closed-loop Driver the first firing retires the thread,
+///    so it degenerates to a one-shot.
+///  * rate-based (RatePermille > 0) — fires independently at each access
+///    with probability RatePermille/1000, from a PRNG stream derived
+///    deterministically from (plan seed, tid), so the same plan over the
+///    same access sequence fires at the same points.
 struct FaultSpec {
   std::uint32_t Tid = 0;
   std::uint64_t AtAccess = 0;
@@ -55,13 +77,31 @@ struct FaultSpec {
   /// Stall only: how many accesses by other threads must be granted
   /// before the victim resumes.
   std::uint64_t StallGrants = 0;
+  /// Recurring trigger: re-fire every Period accesses after AtAccess.
+  /// 0 = one-shot.
+  std::uint64_t Period = 0;
+  /// Rate-based trigger: fire with probability RatePermille/1000 at each
+  /// access (AtAccess/Period are ignored). 0 = index-triggered.
+  std::uint32_t RatePermille = 0;
 };
 
 /// An ordered collection of faults to inject into one run.
 struct FaultPlan {
   std::vector<FaultSpec> Faults;
+  /// Base seed for rate-based triggers; each victim derives its own
+  /// stream from (RateSeed, Tid).
+  std::uint64_t RateSeed = 0x5eedfa017ull;
 
   bool empty() const { return Faults.empty(); }
+
+  /// True when any spec is recurring or rate-based — such a plan keeps
+  /// firing for as long as the victim runs.
+  bool recurring() const {
+    for (const FaultSpec &Spec : Faults)
+      if (Spec.Period != 0 || Spec.RatePermille != 0)
+        return true;
+    return false;
+  }
 
   /// Convenience: crash \p Tid at its \p K-th shared access.
   static FaultPlan crashAt(std::uint32_t Tid, std::uint64_t K) {
@@ -76,6 +116,40 @@ struct FaultPlan {
                            std::uint64_t Grants) {
     FaultPlan Plan;
     Plan.Faults.push_back({Tid, K, FaultKind::Stall, Grants});
+    return Plan;
+  }
+
+  /// Convenience: fault \p Tid at access \p First and every \p Period
+  /// accesses after that (recurring trigger).
+  static FaultPlan everyAccesses(std::uint32_t Tid, std::uint64_t First,
+                                 std::uint64_t Period, FaultKind Kind,
+                                 std::uint64_t Grants = 0) {
+    FaultPlan Plan;
+    FaultSpec Spec{Tid, First, Kind, Grants};
+    Spec.Period = Period;
+    Plan.Faults.push_back(Spec);
+    return Plan;
+  }
+
+  /// Convenience: stall \p Tid with probability \p Permille/1000 at each
+  /// shared access (rate-based trigger).
+  static FaultPlan stallAtRate(std::uint32_t Tid, std::uint32_t Permille,
+                               std::uint64_t Grants) {
+    FaultPlan Plan;
+    FaultSpec Spec{Tid, 0, FaultKind::Stall, Grants};
+    Spec.RatePermille = Permille;
+    Plan.Faults.push_back(Spec);
+    return Plan;
+  }
+
+  /// Convenience: crash \p Tid with probability \p Permille/1000 at each
+  /// shared access (rate-based trigger; meaningful in resurrection
+  /// harnesses, one-shot under the closed-loop Driver).
+  static FaultPlan crashAtRate(std::uint32_t Tid, std::uint32_t Permille) {
+    FaultPlan Plan;
+    FaultSpec Spec{Tid, 0, FaultKind::CrashStop, 0};
+    Spec.RatePermille = Permille;
+    Plan.Faults.push_back(Spec);
     return Plan;
   }
 };

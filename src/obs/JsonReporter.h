@@ -6,15 +6,16 @@
 ///
 /// \file
 /// Minimal JSON writer shared by the observability layer and every
-/// benchmark binary: an array of flat objects, one per sweep cell,
-/// written to a BENCH_*.json file next to the binary's table output so
-/// plots and regression tooling can consume the numbers without scraping
-/// stdout. No external JSON dependency — the emitter handles exactly the
-/// subset the callers need (string, integer, finite double, bool) and
-/// escapes strings conservatively; NaN/Inf become null so the file stays
-/// valid JSON. Round-trip coverage lives in tests/json_reporter_test.cpp.
+/// benchmark binary: an array of objects, one per sweep cell, written to
+/// a BENCH_*.json file next to the binary's table output so plots and
+/// regression tooling can consume the numbers without scraping stdout.
+/// No external JSON dependency — the emitter handles exactly the subset
+/// the callers need (string, integer, finite double, bool, and nested
+/// arrays/objects) and escapes strings conservatively; NaN/Inf become
+/// null so the file stays valid JSON. Round-trip coverage lives in
+/// tests/json_reporter_test.cpp.
 ///
-/// Usage:
+/// Usage (flat record):
 ///   JsonReporter Json;
 ///   Json.beginRecord();
 ///   Json.field("object", "nb-stack");
@@ -23,27 +24,44 @@
 ///   Json.endRecord();
 ///   Json.writeFile("BENCH_stack_throughput.json");
 ///
+/// Nested values (the soak bench's per-window time-series):
+///   Json.beginRecord();
+///   Json.field("object", "crash-tolerant");
+///   Json.beginArray("windows");
+///     Json.beginObject();
+///     Json.field("window", std::uint64_t{0});
+///     Json.field("p99_ns", std::uint64_t{1200});
+///     Json.endObject();
+///   Json.endArray();
+///   Json.endRecord();
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSOBJ_OBS_JSONREPORTER_H
 #define CSOBJ_OBS_JSONREPORTER_H
 
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 namespace csobj {
 namespace obs {
 
-/// Accumulates an array of flat JSON objects and writes it to disk.
+/// Accumulates an array of JSON objects (optionally carrying nested
+/// arrays/objects) and writes it to disk.
 class JsonReporter {
 public:
-  /// Opens a new record ("{"). Records may not nest.
+  /// Opens a new top-level record ("{"). Top-level records may not nest
+  /// inside one another; use beginObject()/beginArray() for nesting
+  /// within a record.
   void beginRecord() {
+    assert(Nesting.empty() && "close nested scopes before a new record");
     Body += Body.empty() ? "\n  {" : ",\n  {";
-    FirstField = true;
+    Nesting.push_back(Scope{/*IsArray=*/false, /*First=*/true});
   }
 
   void field(const std::string &Key, const std::string &Value) {
@@ -73,17 +91,78 @@ public:
 
   void field(const std::string &Key, double Value) {
     appendKey(Key);
-    if (!std::isfinite(Value)) {
-      Body += "null"; // NaN/Inf are not JSON; null keeps the file valid.
-      return;
-    }
-    char Buf[40];
-    std::snprintf(Buf, sizeof(Buf), "%.10g", Value);
-    Body += Buf;
+    appendDouble(Value);
   }
 
-  /// Closes the current record ("}").
-  void endRecord() { Body += '}'; }
+  /// Opens a nested array field: `"key": [`. Elements are added with
+  /// item() or beginObject(); close with endArray().
+  void beginArray(const std::string &Key) {
+    appendKey(Key);
+    Body += '[';
+    Nesting.push_back(Scope{/*IsArray=*/true, /*First=*/true});
+  }
+
+  /// Closes the innermost array.
+  void endArray() {
+    assert(!Nesting.empty() && Nesting.back().IsArray && "not in an array");
+    Body += ']';
+    Nesting.pop_back();
+  }
+
+  /// Opens a nested object field: `"key": {`. Close with endObject().
+  void beginObject(const std::string &Key) {
+    appendKey(Key);
+    Body += '{';
+    Nesting.push_back(Scope{/*IsArray=*/false, /*First=*/true});
+  }
+
+  /// Opens an anonymous object element inside the innermost array.
+  void beginObject() {
+    assert(!Nesting.empty() && Nesting.back().IsArray &&
+           "anonymous objects only inside arrays");
+    appendSeparator();
+    Body += '{';
+    Nesting.push_back(Scope{/*IsArray=*/false, /*First=*/true});
+  }
+
+  /// Closes the innermost nested object (not a top-level record).
+  void endObject() {
+    assert(Nesting.size() > 1 && !Nesting.back().IsArray &&
+           "endObject closes nested objects; endRecord closes records");
+    Body += '}';
+    Nesting.pop_back();
+  }
+
+  /// Scalar elements of the innermost array.
+  void item(const std::string &Value) {
+    assert(!Nesting.empty() && Nesting.back().IsArray && "not in an array");
+    appendSeparator();
+    Body += '"';
+    appendEscaped(Value);
+    Body += '"';
+  }
+
+  void item(const char *Value) { item(std::string(Value)); }
+
+  void item(std::uint64_t Value) {
+    assert(!Nesting.empty() && Nesting.back().IsArray && "not in an array");
+    appendSeparator();
+    Body += std::to_string(Value);
+  }
+
+  void item(double Value) {
+    assert(!Nesting.empty() && Nesting.back().IsArray && "not in an array");
+    appendSeparator();
+    appendDouble(Value);
+  }
+
+  /// Closes the current top-level record ("}").
+  void endRecord() {
+    assert(Nesting.size() == 1 && !Nesting.back().IsArray &&
+           "close nested scopes before endRecord");
+    Body += '}';
+    Nesting.pop_back();
+  }
 
   /// The complete document: a JSON array of the emitted records.
   std::string str() const {
@@ -100,13 +179,39 @@ public:
   }
 
 private:
-  void appendKey(const std::string &Key) {
-    if (!FirstField)
+  /// One open scope ("{" or "["); First tracks whether the next element
+  /// needs a ", " separator.
+  struct Scope {
+    bool IsArray;
+    bool First;
+  };
+
+  /// Emits the element separator for the innermost scope. Flat records
+  /// keep their exact historical byte layout (", " between fields).
+  void appendSeparator() {
+    assert(!Nesting.empty() && "no open scope");
+    if (!Nesting.back().First)
       Body += ", ";
-    FirstField = false;
+    Nesting.back().First = false;
+  }
+
+  void appendKey(const std::string &Key) {
+    assert(!Nesting.empty() && !Nesting.back().IsArray &&
+           "keyed values only inside objects");
+    appendSeparator();
     Body += '"';
     appendEscaped(Key);
     Body += "\": ";
+  }
+
+  void appendDouble(double Value) {
+    if (!std::isfinite(Value)) {
+      Body += "null"; // NaN/Inf are not JSON; null keeps the file valid.
+      return;
+    }
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.10g", Value);
+    Body += Buf;
   }
 
   void appendEscaped(const std::string &S) {
@@ -137,7 +242,7 @@ private:
   }
 
   std::string Body;
-  bool FirstField = true;
+  std::vector<Scope> Nesting;
 };
 
 } // namespace obs

@@ -60,6 +60,15 @@ struct StuckOpReport {
 /// its identity). A disarm after a report is fine — the report stands as
 /// evidence the deadline was crossed, which is what liveness tests
 /// assert on.
+///
+/// The watchdog is re-armable: stop()/start() cycles reuse the same
+/// instance (slots, totals, and undrained reports survive), so a soak
+/// harness can pause monitoring between phases without reconstruction.
+/// For window-granular accounting, drainReports() hands back everything
+/// observed since the previous drain while stuckCount() keeps the
+/// lifetime total — the soak collector drains once per window and
+/// reports per-window stuck-op counts instead of a single terminal
+/// number.
 class Watchdog {
 public:
   Watchdog(std::uint32_t NumThreads, std::uint64_t DeadlineNs,
@@ -110,16 +119,30 @@ public:
     scanOnce();
   }
 
-  /// Number of operations caught over deadline so far.
+  /// Number of operations caught over deadline so far — a lifetime
+  /// total, unaffected by drainReports().
   std::uint64_t stuckCount() const {
     std::lock_guard<std::mutex> Lock(Mutex);
-    return Reports.size();
+    return TotalReported;
   }
 
-  /// All stuck-operation observations recorded so far.
+  /// All stuck-operation observations since the last drainReports()
+  /// (or ever, when nothing was drained).
   std::vector<StuckOpReport> stuckReports() const {
     std::lock_guard<std::mutex> Lock(Mutex);
     return Reports;
+  }
+
+  /// Hands back every observation since the previous drain and clears
+  /// the buffer; stuckCount() keeps counting across drains. This is the
+  /// per-window collection channel for long soaks — without it the
+  /// report vector grows for the whole run and windows cannot be told
+  /// apart.
+  std::vector<StuckOpReport> drainReports() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::vector<StuckOpReport> Out;
+    Out.swap(Reports);
+    return Out;
   }
 
   std::uint64_t deadlineNs() const { return DeadlineNs; }
@@ -158,6 +181,7 @@ private:
       const obs::Path Hint = PathProbe ? PathProbe(Tid) : obs::Path::None;
       std::lock_guard<std::mutex> Lock(Mutex);
       Reports.push_back({Tid, Now - Armed, Hint});
+      ++TotalReported;
     }
   }
 
@@ -181,6 +205,7 @@ private:
   std::atomic<bool> Stopping{false};
   std::thread Monitor;
   std::vector<StuckOpReport> Reports;
+  std::uint64_t TotalReported = 0;
   std::function<obs::Path(std::uint32_t)> PathProbe;
 };
 

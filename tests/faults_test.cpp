@@ -152,6 +152,82 @@ TEST(FaultInjectorTest, ChainsInnerHookBeforeItsOwnLogic) {
   EXPECT_EQ(Inner.Count, 4u);
 }
 
+TEST(FaultInjectorTest, RecurringStallFiresAtEveryPeriod) {
+  FaultClock Clock;
+  // Stall at access 2 and every 3 accesses after: indices 2, 5, 8.
+  FaultInjector Injector(
+      FaultPlan::everyAccesses(0, 2, 3, FaultKind::Stall, /*Grants=*/4), 0,
+      Clock);
+  AtomicRegister<std::uint32_t> Reg;
+  SchedHookScope Scope(Injector);
+  for (std::uint32_t I = 0; I < 10; ++I)
+    Reg.write(I); // Solo: each stall expires via the idle yield cap.
+  EXPECT_EQ(Injector.accessesSeen(), 10u);
+  EXPECT_EQ(Injector.faultsFired(), 3u);
+  EXPECT_EQ(Reg.peekForTesting(), 9u);
+}
+
+TEST(FaultInjectorTest, RecurringCrashRefiresAcrossResurrections) {
+  FaultClock Clock;
+  // Crash at access 1 and every 2 after: odd access indices die, even
+  // ones execute — only meaningful because this harness resurrects.
+  FaultInjector Injector(
+      FaultPlan::everyAccesses(0, 1, 2, FaultKind::CrashStop), 0, Clock);
+  AtomicRegister<std::uint32_t> Reg;
+  SchedHookScope Scope(Injector);
+  std::uint32_t Completed = 0, Crashes = 0;
+  while (Completed < 4) {
+    try {
+      Reg.write(Completed);
+      ++Completed;
+    } catch (const ProcessCrash &) {
+      ++Crashes; // Resurrect: same id, same injector, next operation.
+    }
+  }
+  // Accesses 0..6: four writes landed (0,2,4,6), three crashed (1,3,5).
+  EXPECT_EQ(Crashes, 3u);
+  EXPECT_EQ(Injector.faultsFired(), 3u);
+  EXPECT_EQ(Injector.accessesSeen(), 7u);
+  EXPECT_EQ(Reg.peekForTesting(), 3u);
+}
+
+TEST(FaultInjectorTest, RateTriggersAreDeterministicForPlanSeedAndTid) {
+  const FaultPlan Plan =
+      FaultPlan::stallAtRate(0, /*Permille=*/250, /*Grants=*/1);
+  const auto runOnce = [&Plan] {
+    FaultClock Clock;
+    FaultInjector Injector(Plan, 0, Clock);
+    AtomicRegister<std::uint32_t> Reg;
+    SchedHookScope Scope(Injector);
+    for (std::uint32_t I = 0; I < 256; ++I)
+      Reg.write(I);
+    return Injector.faultsFired();
+  };
+  const std::uint64_t FirstRun = runOnce();
+  // A 25% rate over 256 accesses fires a lot, and identically per run.
+  EXPECT_GT(FirstRun, 0u);
+  EXPECT_LT(FirstRun, 256u);
+  EXPECT_EQ(runOnce(), FirstRun);
+}
+
+TEST(FaultInjectorTest, RateCrashDegeneratesToOneShotWithoutResurrection) {
+  FaultClock Clock;
+  // Probability 1 per access: the very first access dies. A harness
+  // that does not resurrect (the closed-loop Driver) sees a one-shot.
+  FaultInjector Injector(FaultPlan::crashAtRate(0, 1000), 0, Clock);
+  AtomicRegister<std::uint32_t> Reg;
+  SchedHookScope Scope(Injector);
+  bool Crashed = false;
+  try {
+    Reg.write(1);
+  } catch (const ProcessCrash &) {
+    Crashed = true;
+  }
+  EXPECT_TRUE(Crashed);
+  EXPECT_EQ(Injector.faultsFired(), 1u);
+  EXPECT_EQ(Reg.peekForTesting(), 0u); // The write never executed.
+}
+
 //===----------------------------------------------------------------------===
 // faultPlanPick: explorer-side plan execution
 //===----------------------------------------------------------------------===
@@ -201,6 +277,39 @@ TEST(FaultPlanPickTest, SoloStallExpiresWhenNobodyElseCanRun) {
   Scheduler.run({counterBody(Reg0, 3)},
                 faultPlanPick(FaultPlan::stallAt(0, 2, 100)));
   EXPECT_EQ(Reg0.peekForTesting(), 3u);
+}
+
+TEST(FaultPlanPickTest, RecurringStallKeepsExplorerRunsLive) {
+  // The recurring spec re-fires at accesses 1, 4, 7, ... of thread 0;
+  // the NextEligible guard must keep each stall from re-triggering at
+  // the same access index, and both threads must still finish.
+  AtomicRegister<std::uint32_t> Reg0, Reg1;
+  InterleaveScheduler Scheduler(2);
+  Scheduler.run({counterBody(Reg0, 6), counterBody(Reg1, 6)},
+                faultPlanPick(FaultPlan::everyAccesses(
+                    0, /*First=*/1, /*Period=*/3, FaultKind::Stall,
+                    /*Grants=*/2)));
+  EXPECT_EQ(Reg0.peekForTesting(), 6u);
+  EXPECT_EQ(Reg1.peekForTesting(), 6u);
+}
+
+TEST(FaultPlanPickTest, RateStallPlanExploresSameScheduleEveryRun) {
+  const auto runOnce = [] {
+    AtomicRegister<std::uint32_t> Reg0, Reg1;
+    InterleaveScheduler Scheduler(2);
+    const auto Trace =
+        Scheduler.run({counterBody(Reg0, 6), counterBody(Reg1, 6)},
+                      faultPlanPick(FaultPlan::stallAtRate(0, 300, 2)));
+    EXPECT_EQ(Reg0.peekForTesting(), 6u);
+    EXPECT_EQ(Reg1.peekForTesting(), 6u);
+    std::vector<std::uint32_t> Choices;
+    for (const auto &Decision : Trace.Decisions)
+      Choices.push_back(Decision.Chosen);
+    return Choices;
+  };
+  // Rate triggers draw from a per-victim stream seeded by the plan, so
+  // the "random" faulty schedule replays exactly.
+  EXPECT_EQ(runOnce(), runOnce());
 }
 
 //===----------------------------------------------------------------------===
@@ -587,6 +696,35 @@ TEST(WatchdogTest, DisabledWatchdogAddsZeroSharedAccesses) {
   });
   Off.stop();
   EXPECT_EQ(Counts.total(), 0u);
+}
+
+TEST(WatchdogTest, StopStartReuseDrainsPerWindowAndKeepsLifetimeTotal) {
+  // The soak collector's contract: one Watchdog instance is reused
+  // across windows, drainReports() hands over each window's catches,
+  // stuckCount() keeps the lifetime total.
+  Watchdog Dog(1, /*DeadlineNs=*/1000 * 1000, /*PollIntervalNs=*/200 * 1000);
+
+  // Window 1: one stuck op.
+  Dog.start();
+  Dog.arm(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Dog.stop();
+  const auto Window1 = Dog.drainReports();
+  ASSERT_EQ(Window1.size(), 1u);
+  EXPECT_EQ(Window1.front().Tid, 0u);
+  EXPECT_EQ(Dog.stuckCount(), 1u);
+  EXPECT_TRUE(Dog.drainReports().empty()); // Drained means drained.
+  Dog.disarm(0);
+
+  // Window 2: the same instance restarts and catches a fresh op (the
+  // new arm timestamp is a new identity).
+  Dog.start();
+  Dog.arm(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Dog.stop();
+  const auto Window2 = Dog.drainReports();
+  ASSERT_EQ(Window2.size(), 1u);
+  EXPECT_EQ(Dog.stuckCount(), 2u); // Lifetime total spans both windows.
 }
 
 //===----------------------------------------------------------------------===

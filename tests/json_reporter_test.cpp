@@ -6,12 +6,14 @@
 //
 // Round-trip coverage for obs/JsonReporter.h: a small recursive-descent
 // parser (below, test-only) consumes exactly the subset the emitter
-// produces — an array of flat objects whose values are strings, numbers,
-// booleans, or null — and the tests assert that what went in through
-// field() comes back out byte-identical after escaping, that NaN/Inf
-// degrade to null rather than corrupting the document, that the full
-// uint64 range survives (doubles would silently round above 2^53), and
-// that the path-breakdown schema (obs/MetricsJson.h) parses with its
+// produces — an array of objects whose values are strings, numbers,
+// booleans, null, or nested arrays/objects (the soak bench's window
+// time-series) — and the tests assert that what went in through field()
+// comes back out byte-identical after escaping, that NaN/Inf degrade to
+// null rather than corrupting the document, that the full uint64 range
+// survives (doubles would silently round above 2^53), that nesting
+// round-trips without perturbing the flat layout, and that the
+// path-breakdown schema (obs/MetricsJson.h) parses with its
 // conservation law intact. Benchmark plots and the CI bench-smoke
 // validator both stand on these properties.
 //
@@ -38,12 +40,20 @@ namespace {
 // Minimal JSON parser for the emitter's output subset
 //===----------------------------------------------------------------------===
 
-/// A parsed scalar. The emitter never nests, so this is the whole value
-/// domain: unsigned integers parse as Uint (exact), anything with a
-/// '.', 'e', or '-' as Num, plus Str/Bool/Null.
+/// A parsed value. Scalars live in the variant: unsigned integers parse
+/// as Uint (exact), anything with a '.', 'e', or '-' as Num, plus
+/// Str/Bool/Null. Nested values (the soak bench's window time-series)
+/// use the side containers: IsArr/Arr for arrays, IsObj/Obj for nested
+/// objects — kept out of the variant so JsonValue stays a complete type
+/// inside its own alternatives.
 struct JsonValue {
   std::variant<std::monostate, std::string, std::uint64_t, double, bool> V;
-  bool isNull() const { return V.index() == 0; }
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+  bool IsArr = false;
+  bool IsObj = false;
+
+  bool isNull() const { return !IsArr && !IsObj && V.index() == 0; }
   const std::string &str() const { return std::get<std::string>(V); }
   std::uint64_t uint() const { return std::get<std::uint64_t>(V); }
   double num() const {
@@ -52,6 +62,14 @@ struct JsonValue {
     return std::get<double>(V);
   }
   bool boolean() const { return std::get<bool>(V); }
+  const std::vector<JsonValue> &arr() const {
+    EXPECT_TRUE(IsArr);
+    return Arr;
+  }
+  const std::map<std::string, JsonValue> &obj() const {
+    EXPECT_TRUE(IsObj);
+    return Obj;
+  }
 };
 
 using JsonRecord = std::map<std::string, JsonValue>;
@@ -129,6 +147,14 @@ private:
       return false;
     }
     const char C = Text[Pos];
+    if (C == '{') {
+      Out.IsObj = true;
+      return parseObject(Out.Obj);
+    }
+    if (C == '[') {
+      Out.IsArr = true;
+      return parseArray(Out.Arr);
+    }
     if (C == '"') {
       std::string S;
       if (!parseString(S))
@@ -149,6 +175,30 @@ private:
       return true;
     }
     return parseNumber(Out);
+  }
+
+  bool parseArray(std::vector<JsonValue> &Out) {
+    skipWs();
+    if (!consume('[')) {
+      ADD_FAILURE() << "expected '[' at offset " << Pos;
+      return false;
+    }
+    skipWs();
+    if (consume(']'))
+      return true;
+    while (true) {
+      JsonValue Val;
+      if (!parseValue(Val))
+        return false;
+      Out.push_back(std::move(Val));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      ADD_FAILURE() << "expected ',' or ']' at offset " << Pos;
+      return false;
+    }
   }
 
   bool parseString(std::string &Out) {
@@ -424,6 +474,116 @@ TEST(JsonReporter, PathBreakdownSchemaParsesAndConserves) {
   EXPECT_EQ(R.at("metric_ops").uint(), PathSum);
   EXPECT_EQ(R.at("metric_ops").uint(), 100u);
   EXPECT_EQ(R.at("shortcut_aborts").uint(), 11u);
+}
+
+//===----------------------------------------------------------------------===
+// Nested arrays/objects (window time-series shape)
+//===----------------------------------------------------------------------===
+
+TEST(JsonReporter, FlatRecordLayoutIsByteStable) {
+  // The nesting machinery must not perturb the historical flat layout:
+  // downstream tooling (and this suite's exact-string assertions) key on
+  // these bytes.
+  obs::JsonReporter Json;
+  Json.beginRecord();
+  Json.field("a", std::uint64_t{1});
+  Json.field("b", "x");
+  Json.endRecord();
+  EXPECT_EQ(Json.str(), "[\n  {\"a\": 1, \"b\": \"x\"}\n]\n");
+}
+
+TEST(JsonReporter, NestedWindowTimeSeriesRoundTrips) {
+  // The exact shape bench_soak emits: a record carrying scalars plus a
+  // "windows" array of per-window objects.
+  obs::JsonReporter Json;
+  Json.beginRecord();
+  Json.field("object", "crash-tolerant");
+  Json.field("slo_pass", true);
+  Json.beginArray("windows");
+  for (std::uint64_t W = 0; W < 3; ++W) {
+    Json.beginObject();
+    Json.field("window", W);
+    Json.field("p99_ns", 1000 * (W + 1));
+    Json.field("conserves", true);
+    Json.endObject();
+  }
+  Json.endArray();
+  Json.field("after", std::uint64_t{7}); // Fields may follow an array.
+  Json.endRecord();
+
+  const std::vector<JsonRecord> Records = parse(Json);
+  ASSERT_EQ(Records.size(), 1u);
+  const JsonRecord &R = Records[0];
+  EXPECT_EQ(R.at("object").str(), "crash-tolerant");
+  EXPECT_TRUE(R.at("slo_pass").boolean());
+  EXPECT_EQ(R.at("after").uint(), 7u);
+  const std::vector<JsonValue> &Windows = R.at("windows").arr();
+  ASSERT_EQ(Windows.size(), 3u);
+  for (std::uint64_t W = 0; W < 3; ++W) {
+    const auto &Obj = Windows[W].obj();
+    EXPECT_EQ(Obj.at("window").uint(), W);
+    EXPECT_EQ(Obj.at("p99_ns").uint(), 1000 * (W + 1));
+    EXPECT_TRUE(Obj.at("conserves").boolean());
+  }
+}
+
+TEST(JsonReporter, ScalarArrayItemsRoundTrip) {
+  obs::JsonReporter Json;
+  Json.beginRecord();
+  Json.beginArray("names");
+  Json.item("a \"quoted\" one");
+  Json.item(std::string("two"));
+  Json.endArray();
+  Json.beginArray("counts");
+  Json.item(std::uint64_t{0});
+  Json.item(std::numeric_limits<std::uint64_t>::max());
+  Json.endArray();
+  Json.beginArray("ratios");
+  Json.item(0.25);
+  Json.item(std::numeric_limits<double>::quiet_NaN()); // -> null
+  Json.endArray();
+  Json.beginArray("empty");
+  Json.endArray();
+  Json.endRecord();
+
+  const std::vector<JsonRecord> Records = parse(Json);
+  ASSERT_EQ(Records.size(), 1u);
+  const JsonRecord &R = Records[0];
+  ASSERT_EQ(R.at("names").arr().size(), 2u);
+  EXPECT_EQ(R.at("names").arr()[0].str(), "a \"quoted\" one");
+  EXPECT_EQ(R.at("names").arr()[1].str(), "two");
+  ASSERT_EQ(R.at("counts").arr().size(), 2u);
+  EXPECT_EQ(R.at("counts").arr()[0].uint(), 0u);
+  EXPECT_EQ(R.at("counts").arr()[1].uint(),
+            std::numeric_limits<std::uint64_t>::max());
+  ASSERT_EQ(R.at("ratios").arr().size(), 2u);
+  EXPECT_EQ(R.at("ratios").arr()[0].num(), 0.25);
+  EXPECT_TRUE(R.at("ratios").arr()[1].isNull());
+  EXPECT_TRUE(R.at("empty").arr().empty());
+}
+
+TEST(JsonReporter, NestedObjectFieldsAndDeepNestingRoundTrip) {
+  obs::JsonReporter Json;
+  Json.beginRecord();
+  Json.beginObject("verdict");
+  Json.field("pass", false);
+  Json.beginArray("violations");
+  Json.beginObject();
+  Json.field("metric", "sojourn_p99_ns");
+  Json.field("observed", 2.5e9);
+  Json.endObject();
+  Json.endArray();
+  Json.endObject();
+  Json.endRecord();
+
+  const std::vector<JsonRecord> Records = parse(Json);
+  ASSERT_EQ(Records.size(), 1u);
+  const auto &Verdict = Records[0].at("verdict").obj();
+  EXPECT_FALSE(Verdict.at("pass").boolean());
+  const auto &Violations = Verdict.at("violations").arr();
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations[0].obj().at("metric").str(), "sojourn_p99_ns");
+  EXPECT_EQ(Violations[0].obj().at("observed").num(), 2.5e9);
 }
 
 } // namespace
