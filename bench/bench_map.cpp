@@ -1,0 +1,271 @@
+//===- bench/bench_map.cpp - Experiment E16 (ordered-map throughput) -----===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E16 — throughput of the contention-sensitive ordered map against the
+/// coarse-locked sorted-array baseline. The cs-map's reads never touch a
+/// lock or the CONTENTION word and its writes pay the Fig-3 seam only
+/// after an actual CAS conflict in the same key region; the baseline
+/// serializes every operation, reads included, through one lock.
+///
+/// Sweep: object x threads x key range x read/write mix, under the
+/// default chaos level (or CSOBJ_CHAOS). Each worker draws uniform keys
+/// from [0, key_range) and rolls read_percent% gets; the remaining ops
+/// split evenly between insert (fresh or update) and erase. Capacity
+/// equals the key range, so the distinct-keys-ever envelope can never
+/// answer Full and throughput measures contention, not capacity
+/// pressure. Half the range is prefilled so gets hit live keys, misses
+/// and tombstones from the first operation on.
+///
+/// Results go to stdout and BENCH_map.json (schema in EXPERIMENTS.md);
+/// cs-map records carry the real path breakdown and per-cell
+/// conservation verdict, locked-map records carry the same columns
+/// zeroed (the baseline has no seam to attribute).
+///
+/// Acceptance (full mode, in-binary, host-conditional like E12): with
+/// >=4 hardware threads, at the top sweep point the cs-map must beat
+/// the locked baseline on the read-heavy wide-range cell — the regime
+/// the contention-sensitive construction is built for. Quick mode
+/// (CSOBJ_BENCH_QUICK=1) only smoke-checks structure and conservation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "baselines/LockedMap.h"
+#include "core/ContentionSensitiveMap.h"
+#include "memory/ChaosHook.h"
+#include "obs/JsonReporter.h"
+#include "obs/MetricsJson.h"
+#include "runtime/SpinBarrier.h"
+#include "runtime/TablePrinter.h"
+#include "support/SplitMix64.h"
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace csobj;
+using namespace csobj::bench;
+
+struct CsMapAdapter {
+  static constexpr const char *Name = "cs-map";
+  CsMapAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Map(Threads, Capacity) {}
+  PopResult<std::uint32_t> get(std::uint32_t Tid, std::uint32_t K) {
+    return Map.get(Tid, K);
+  }
+  PushResult insert(std::uint32_t Tid, std::uint32_t K, std::uint32_t V) {
+    return Map.insert(Tid, K, V);
+  }
+  PopResult<std::uint32_t> erase(std::uint32_t Tid, std::uint32_t K) {
+    return Map.erase(Tid, K);
+  }
+  obs::PathSnapshot pathSnapshot() const { return Map.pathSnapshot(); }
+  std::size_t footprintBytes() const { return Map.footprintBytes(); }
+  ContentionSensitiveMap<> Map;
+};
+
+struct LockedMapAdapter {
+  static constexpr const char *Name = "locked-map";
+  LockedMapAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Map(Threads, Capacity) {}
+  PopResult<std::uint32_t> get(std::uint32_t Tid, std::uint32_t K) {
+    return Map.get(Tid, K);
+  }
+  PushResult insert(std::uint32_t Tid, std::uint32_t K, std::uint32_t V) {
+    return Map.insert(Tid, K, V);
+  }
+  PopResult<std::uint32_t> erase(std::uint32_t Tid, std::uint32_t K) {
+    return Map.erase(Tid, K);
+  }
+  // No seam to attribute: the schema columns are emitted zeroed.
+  obs::PathSnapshot pathSnapshot() const { return {}; }
+  std::size_t footprintBytes() const { return Map.footprintBytes(); }
+  LockedMap<> Map;
+};
+
+struct CellResult {
+  std::uint64_t Ops = 0;
+  double DurationSec = 0.0;
+  obs::PathSnapshot Snapshot;
+  std::uint64_t ObjectBytes = 0;
+  double opsPerSec() const {
+    return DurationSec > 0.0 ? static_cast<double>(Ops) / DurationSec : 0.0;
+  }
+};
+
+/// One sweep cell: fresh map over [0, KeyRange) with the lower half
+/// prefilled, Threads workers each issuing opsPerThread() operations.
+template <typename AdapterT>
+CellResult runMapCell(std::uint32_t Threads, std::uint32_t KeyRange,
+                      std::uint32_t ReadPercent, const ChaosSettings &Chaos) {
+  AdapterT Adapter(Threads, /*Capacity=*/KeyRange);
+  for (std::uint32_t K = 0; K < KeyRange / 2; ++K)
+    (void)Adapter.insert(0, K, K + 1);
+
+  const std::uint64_t Ops = opsPerThread();
+  SpinBarrier StartLine(Threads + 1);
+  std::vector<double> Span(Threads, 0.0);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (std::uint32_t T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      ChaosHook Hook(/*Seed=*/0x9AB16ull * (T + 1),
+                     Threads > 1 ? Chaos.YieldPermille : 0,
+                     Threads > 1 ? Chaos.StallPermille : 0,
+                     Chaos.StallGrants);
+      SchedHookScope Scope(Hook);
+      SplitMix64 Rng(0xE16E16ull + 0x9E37ull * (T + 1));
+      StartLine.arriveAndWait();
+      const auto Begin = std::chrono::steady_clock::now();
+      for (std::uint64_t I = 0; I < Ops; ++I) {
+        const std::uint32_t K =
+            static_cast<std::uint32_t>(Rng.below(KeyRange));
+        const std::uint64_t Roll = Rng.below(100);
+        if (Roll < ReadPercent)
+          (void)Adapter.get(T, K);
+        else if (Rng.below(2) == 0)
+          (void)Adapter.insert(T, K, static_cast<std::uint32_t>(I + 1));
+        else
+          (void)Adapter.erase(T, K);
+      }
+      const auto End = std::chrono::steady_clock::now();
+      Span[T] = std::chrono::duration<double>(End - Begin).count();
+    });
+
+  StartLine.arriveAndWait();
+  for (std::thread &W : Workers)
+    W.join();
+
+  CellResult R;
+  R.Ops = static_cast<std::uint64_t>(Threads) * Ops;
+  // Worker-side max span: join-scheduling noise cannot stretch the
+  // window on an oversubscribed host.
+  for (const double S : Span)
+    R.DurationSec = std::max(R.DurationSec, S);
+  R.Snapshot = Adapter.pathSnapshot();
+  R.ObjectBytes = Adapter.footprintBytes();
+  return R;
+}
+
+struct SweepOutput {
+  TablePrinter &Table;
+  JsonReporter &Json;
+  /// ops/sec keyed by (object, threads, key_range, read_percent).
+  std::map<std::string,
+           std::map<std::uint32_t,
+                    std::map<std::uint32_t, std::map<std::uint32_t, double>>>>
+      Rate;
+  bool AllConserved = true;
+};
+
+template <typename AdapterT>
+void runRows(SweepOutput &Out, const std::vector<std::uint32_t> &KeyRanges,
+             const std::vector<std::uint32_t> &ReadMixes) {
+  for (const std::uint32_t Threads : threadSweep()) {
+    for (const std::uint32_t KeyRange : KeyRanges) {
+      for (const std::uint32_t ReadPercent : ReadMixes) {
+        ChaosSettings Chaos;
+        Chaos.YieldPermille = DefaultChaosPermille;
+        if (const std::optional<ChaosSettings> Env = chaosFromEnv())
+          Chaos = *Env;
+        const CellResult R =
+            runMapCell<AdapterT>(Threads, KeyRange, ReadPercent, Chaos);
+        const double Rate = R.opsPerSec();
+        const bool Conserved = R.Snapshot.conserves();
+        Out.AllConserved = Out.AllConserved && Conserved;
+        Out.Rate[AdapterT::Name][Threads][KeyRange][ReadPercent] = Rate;
+        Out.Table.addRow({AdapterT::Name, std::to_string(Threads),
+                          std::to_string(KeyRange),
+                          std::to_string(ReadPercent), formatRate(Rate),
+                          Conserved ? "yes" : "NO"});
+        Out.Json.beginRecord();
+        Out.Json.field("object", AdapterT::Name);
+        Out.Json.field("threads", Threads);
+        Out.Json.field("key_range", KeyRange);
+        Out.Json.field("read_percent", ReadPercent);
+        Out.Json.field("ops", R.Ops);
+        Out.Json.field("duration_sec", R.DurationSec);
+        Out.Json.field("ops_per_sec", Rate);
+        Out.Json.field("conserves", Conserved);
+        obs::emitPathBreakdown(Out.Json, R.Snapshot);
+        obs::emitMemoryFootprint(Out.Json, R.ObjectBytes, KeyRange);
+        Out.Json.endRecord();
+      }
+    }
+  }
+}
+
+} // namespace
+
+int main() {
+  printRegisterPolicy(std::cout);
+
+  const std::vector<std::uint32_t> KeyRanges{16, 1024};
+  const std::vector<std::uint32_t> ReadMixes =
+      quickMode() ? std::vector<std::uint32_t>{90}
+                  : std::vector<std::uint32_t>{50, 90};
+
+  TablePrinter Table(
+      {"object", "threads", "key-range", "read%", "ops/s", "conserves"});
+  Table.setTitle("E16: contention-sensitive map vs coarse-locked baseline");
+  JsonReporter Json;
+  SweepOutput Out{Table, Json, {}, true};
+
+  runRows<CsMapAdapter>(Out, KeyRanges, ReadMixes);
+  runRows<LockedMapAdapter>(Out, KeyRanges, ReadMixes);
+
+  Table.print(std::cout);
+
+  const std::string JsonPath = "BENCH_map.json";
+  if (!Json.writeFile(JsonPath)) {
+    std::cerr << "error: could not write " << JsonPath << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << JsonPath << "\n";
+
+  if (!Out.AllConserved) {
+    std::cerr << "FAIL: a cs-map cell's path counters do not conserve\n";
+    return 1;
+  }
+
+  if (quickMode()) {
+    std::cout << "SKIP: acceptance comparison is full-mode only "
+                 "(CSOBJ_BENCH_QUICK=1)\n";
+    return 0;
+  }
+
+  // Host-conditional acceptance (the E12 convention): the comparison
+  // only says something with real parallelism.
+  const std::uint32_t HwThreads = std::thread::hardware_concurrency();
+  const std::uint32_t Top = threadSweep().back();
+  if (HwThreads < 4 || Top < 4) {
+    std::cout << "SKIP: acceptance check needs >=4 hardware threads and "
+                 "a >=4-thread sweep point (host has "
+              << HwThreads << ", sweep tops out at " << Top << ")\n";
+    return 0;
+  }
+  const std::uint32_t WideRange = KeyRanges.back();
+  const std::uint32_t ReadHeavy = ReadMixes.back();
+  const double Cs = Out.Rate["cs-map"][Top][WideRange][ReadHeavy];
+  const double Locked = Out.Rate["locked-map"][Top][WideRange][ReadHeavy];
+  std::cout << "at " << Top << " threads, key range " << WideRange << ", "
+            << ReadHeavy << "% reads: cs-map " << formatRate(Cs)
+            << "  locked-map " << formatRate(Locked) << "\n";
+  if (Cs > Locked) {
+    std::cout << "PASS: cs-map beats the coarse-locked baseline at "
+              << Top << " threads\n";
+    return 0;
+  }
+  std::cerr << "FAIL: cs-map does not beat the coarse-locked baseline\n";
+  return 1;
+}

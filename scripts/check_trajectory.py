@@ -51,6 +51,8 @@ KEY_FIELDS = {
     "slots",
     "batch",
     "group",
+    "key_range",
+    "read_percent",
 }
 
 # Substrings classifying a metric's bad direction. First match wins;

@@ -1,0 +1,113 @@
+//===- baselines/LockedMap.h - Coarse lock-based ordered map ----*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coarse-grained baseline the contention-sensitive map (E16) has to
+/// beat: a sorted array with tombstones, fully serialized — reads
+/// included — by one lock. Capacity counts distinct keys ever inserted,
+/// exactly the envelope SkipListCore enforces, so the two objects answer
+/// Full identically and share OrderedMapSpec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_BASELINES_LOCKEDMAP_H
+#define CSOBJ_BASELINES_LOCKEDMAP_H
+
+#include "core/Results.h"
+#include "locks/LockTraits.h"
+#include "locks/TasLock.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace csobj {
+
+/// Bounded ordered map fully serialized by a single lock.
+template <typename Lock = TtasLock>
+class LockedMap {
+public:
+  using Key = std::uint32_t;
+  using Value = std::uint32_t;
+
+  LockedMap(std::uint32_t NumThreads, std::uint32_t Capacity)
+      : Guard(NumThreads), CapacityK(Capacity) {
+    Entries.reserve(Capacity);
+  }
+
+  PopResult<Value> get(std::uint32_t Tid, Key K) {
+    ScopedLock<Lock> Hold(Guard, Tid);
+    const Entry *E = lookup(K);
+    if (E == nullptr || !E->Live)
+      return PopResult<Value>::empty();
+    return PopResult<Value>::value(E->Val);
+  }
+
+  PushResult insert(std::uint32_t Tid, Key K, Value V) {
+    ScopedLock<Lock> Hold(Guard, Tid);
+    if (Entry *E = lookup(K)) {
+      E->Val = V;
+      E->Live = true;
+      return PushResult::Done;
+    }
+    if (Entries.size() >= CapacityK)
+      return PushResult::Full;
+    Entries.insert(std::lower_bound(Entries.begin(), Entries.end(), K,
+                                    [](const Entry &E, Key Needle) {
+                                      return E.K < Needle;
+                                    }),
+                   Entry{K, V, true});
+    return PushResult::Done;
+  }
+
+  PopResult<Value> erase(std::uint32_t Tid, Key K) {
+    ScopedLock<Lock> Hold(Guard, Tid);
+    Entry *E = lookup(K);
+    if (E == nullptr || !E->Live)
+      return PopResult<Value>::empty();
+    E->Live = false;
+    return PopResult<Value>::value(E->Val);
+  }
+
+  std::uint32_t capacity() const { return CapacityK; }
+
+  std::uint32_t sizeForTesting() const {
+    std::uint32_t Count = 0;
+    for (const Entry &E : Entries)
+      Count += E.Live ? 1 : 0;
+    return Count;
+  }
+
+  /// Resident bytes (header + entry storage), for bytes_per_element.
+  std::size_t footprintBytes() const {
+    return sizeof(*this) + Entries.capacity() * sizeof(Entry);
+  }
+
+private:
+  struct Entry {
+    Key K;
+    Value Val;
+    bool Live;
+  };
+
+  Entry *lookup(Key K) {
+    auto It = std::lower_bound(
+        Entries.begin(), Entries.end(), K,
+        [](const Entry &E, Key Needle) { return E.K < Needle; });
+    if (It == Entries.end() || It->K != K)
+      return nullptr;
+    return &*It;
+  }
+
+  Lock Guard;
+  const std::uint32_t CapacityK;
+  std::vector<Entry> Entries;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_BASELINES_LOCKEDMAP_H

@@ -1,0 +1,296 @@
+//===- core/SkipListCore.h - Tombstone skip list (weak ops) -----*- C++ -*-===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The weak (abortable) half of the contention-sensitive ordered map: a
+/// bounded skip list over uint32 keys whose update operations are single
+/// Compare&Swap attempts — they either take effect atomically or answer
+/// the paper's bottom (Abort) — and whose search path is wait-free and
+/// never writes.
+///
+/// The first pointer-based object in the library meets the ABA problem
+/// head on, and the design dodges it structurally instead of tagging
+/// every link:
+///
+///  * Nodes are never unlinked. A key's node is allocated from a fixed
+///    pool on first insert and stays in the list forever; erase marks it
+///    Dead (a tombstone) and a later insert of the same key revives it.
+///    Because the structure only grows, the key of any Next link strictly
+///    decreases over that register's lifetime (each successful link CAS
+///    installs a node that sorts strictly earlier in the remaining
+///    window), so a link register never repeats a value and the link
+///    CASes need no tag at all.
+///  * The one word that does cycle — a node's value/liveness — is a
+///    TaggedValue TopCodec word <state:2 | seq:30 | value:32>: state is
+///    Live/Dead, seq is the Section 2.2 sequence tag bumped by every
+///    update, value is the mapped payload. A sleeping updater is fooled
+///    only if exactly 2^30 updates of that key land between its read and
+///    its C&S.
+///
+/// Operation contract (all linearizable at a single register access):
+///  * find/get: wait-free, read-only. Bounded by the pool size because
+///    keys strictly increase along any traversal path.
+///  * weakInsert: update/revive an existing key via one ValState CAS, or
+///    link a new node via one level-0 CAS (upper levels are linked
+///    best-effort, one attempt each — a node missing its express lanes
+///    is slower to reach, never incorrect). A failed CAS answers Abort.
+///  * weakErase: one ValState CAS Live -> Dead. Abort on interference.
+///
+/// Capacity counts distinct keys ever inserted (tombstones do not free
+/// slots — that is the price of no reclamation; the ROADMAP's
+/// hazard-pointer item is where reclamation lands). Full answers are
+/// always sound: the linked-keys counter is monotone and only bumped
+/// after a successful link, and the Full path re-validates absence after
+/// reading the counter, so at the second search's level-0 window read
+/// the key is absent while the counter already reached capacity. The
+/// admit side is checked before the link CAS, so concurrent inserts
+/// racing exactly at the capacity boundary can over-admit by at most one
+/// key per thread; the pool carries 2n spare nodes to absorb that plus
+/// per-thread speculative nodes (see DESIGN.md "Ordered map" for the
+/// honest statement of this envelope).
+///
+/// Node heights are a deterministic hash of the key (geometric, p=1/2,
+/// capped at MaxLevel), so directed interleaving tests can pick keys of
+/// known height and solo access counts are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSOBJ_CORE_SKIPLISTCORE_H
+#define CSOBJ_CORE_SKIPLISTCORE_H
+
+#include "core/Results.h"
+#include "memory/AtomicRegister.h"
+#include "memory/TaggedValue.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace csobj {
+
+/// Bounded tombstone skip list with abortable single-CAS updates.
+/// \tparam Policy register policy (Instrumented / Fast).
+template <typename Policy = DefaultRegisterPolicy>
+class SkipListCore {
+public:
+  using Key = std::uint32_t;
+  using Value = std::uint32_t;
+  using RegisterPolicy = Policy;
+
+  /// Tower height cap; also the solo search cost in level reads.
+  static constexpr std::uint32_t MaxLevel = 8;
+  /// Null link (0 is the head sentinel's pool slot).
+  static constexpr std::uint32_t NilIdx = 0xFFFFFFFFu;
+
+  /// The per-node value/liveness word: <state:2 | seq:30 | value:32>.
+  /// The codec's index field is repurposed as the liveness state.
+  using ValCodec = TopCodec<std::uint64_t, 2, 30, std::uint32_t>;
+  static constexpr std::uint32_t Dead = 0;
+  static constexpr std::uint32_t Live = 1;
+
+  /// \p NumThreads bounds the speculative/over-admitted node slack;
+  /// \p Capacity is the distinct-keys-ever bound. Construct outside
+  /// counting scopes: initialisation writes the head's links.
+  SkipListCore(std::uint32_t NumThreads, std::uint32_t Capacity)
+      : Cap(Capacity), N(NumThreads),
+        PoolSize(1 + Capacity + 2 * NumThreads),
+        Pool(std::make_unique<Node[]>(PoolSize)), Spare(NumThreads, NilIdx) {
+    assert(NumThreads >= 1 && "need at least one process");
+    Node &Head = Pool[0];
+    Head.Height = MaxLevel;
+    for (std::uint32_t L = 0; L < MaxLevel; ++L)
+      Head.Next[L].write(NilIdx, std::memory_order_relaxed);
+    NextFree.write(1, std::memory_order_relaxed);
+  }
+
+  /// Deterministic tower height of \p K: geometric with p=1/2 over a
+  /// mixed hash, capped at MaxLevel. Exposed so directed tests can pick
+  /// keys of known height.
+  static constexpr std::uint32_t heightOf(Key K) {
+    std::uint64_t H = (K + 0x9E3779B97F4A7C15ull) * 0xBF58476D1CE4E5B9ull;
+    H ^= H >> 27;
+    H *= 0x94D049BB133111EBull;
+    H ^= H >> 31;
+    std::uint32_t Level = 1;
+    while ((H & 1) != 0 && Level < MaxLevel) {
+      ++Level;
+      H >>= 1;
+    }
+    return Level;
+  }
+
+  /// Search result: the node holding K (or NilIdx) plus the per-level
+  /// insertion window.
+  struct FindResult {
+    std::uint32_t Found = NilIdx;
+    std::uint32_t Preds[MaxLevel] = {};
+    std::uint32_t Succs[MaxLevel] = {};
+  };
+
+  /// Wait-free search. One link read per level plus one per horizontal
+  /// step; terminates because keys strictly increase along every path.
+  FindResult find(Key K) const {
+    FindResult F;
+    std::uint32_t Pred = 0; // head sentinel
+    for (std::int32_t L = MaxLevel - 1; L >= 0; --L) {
+      std::uint32_t Cur =
+          Pool[Pred].Next[L].read(std::memory_order_acquire);
+      while (Cur != NilIdx && Pool[Cur].Key < K) {
+        Pred = Cur;
+        Cur = Pool[Pred].Next[L].read(std::memory_order_acquire);
+      }
+      F.Preds[static_cast<std::uint32_t>(L)] = Pred;
+      F.Succs[static_cast<std::uint32_t>(L)] = Cur;
+    }
+    if (F.Succs[0] != NilIdx && Pool[F.Succs[0]].Key == K)
+      F.Found = F.Succs[0];
+    return F;
+  }
+
+  /// Lock-free read: the value mapped to K, or Empty. Never aborts (the
+  /// linearization point is the ValState read, or the level-0 window
+  /// read that proves absence — the level-0 list is complete, so a
+  /// missing node there is a missing key).
+  PopResult<Value> get(Key K) const {
+    const FindResult F = find(K);
+    if (F.Found == NilIdx)
+      return PopResult<Value>::empty();
+    const TopFields<Value> Fields = ValCodec::unpack(
+        Pool[F.Found].ValState.read(std::memory_order_acquire));
+    if (Fields.Index != Live)
+      return PopResult<Value>::empty();
+    return PopResult<Value>::value(Fields.Value);
+  }
+
+  /// weak insert-or-update: Done (took effect at one CAS), Full (the
+  /// distinct-keys-ever envelope is exhausted and K is not in it), or
+  /// Abort (interference; no effect).
+  PushResult weakInsert(std::uint32_t Tid, Key K, Value V) {
+    assert(Tid < N && "thread id out of range");
+    const FindResult F = find(K);
+    if (F.Found != NilIdx)
+      return tryUpdate(F.Found, V);
+    // Full must be decided against the monotone linked-keys counter
+    // *before* a search that re-proves absence: counter >= Cap persists,
+    // so at the second search's window read both "k absent" and
+    // "capacity reached" hold simultaneously.
+    if (KeysLinked.read(std::memory_order_acquire) >= Cap) {
+      const FindResult F2 = find(K);
+      if (F2.Found != NilIdx)
+        return tryUpdate(F2.Found, V);
+      return PushResult::Full;
+    }
+    const std::uint32_t Height = heightOf(K);
+    std::uint32_t Idx = Spare[Tid];
+    if (Idx == NilIdx) {
+      Idx = NextFree.fetchAdd(1);
+      assert(Idx < PoolSize && "node pool exhausted");
+    }
+    Node &Fresh = Pool[Idx];
+    Fresh.Key = K;
+    Fresh.Height = Height;
+    Fresh.ValState.write(ValCodec::pack({Live, V, 0}),
+                         std::memory_order_relaxed);
+    for (std::uint32_t L = 0; L < Height; ++L)
+      Fresh.Next[L].write(F.Succs[L], std::memory_order_relaxed);
+    // The linearization point: publish at level 0. Success proves the
+    // window [pred, succ) was still intact, so no node with key K
+    // existed anywhere in the (complete) level-0 list at this instant.
+    if (!Pool[F.Preds[0]].Next[0].compareAndSwap(F.Succs[0], Idx)) {
+      Spare[Tid] = Idx; // keep the speculative node for the next attempt
+      return PushResult::Abort;
+    }
+    Spare[Tid] = NilIdx;
+    KeysLinked.fetchAdd(1);
+    // Express lanes: one attempt per level. A lost race leaves the node
+    // reachable only through lower levels — slower, never wrong.
+    for (std::uint32_t L = 1; L < Height; ++L)
+      (void)Pool[F.Preds[L]].Next[L].compareAndSwap(F.Succs[L], Idx);
+    return PushResult::Done;
+  }
+
+  /// weak erase: the old value (tombstoned at one CAS), Empty, or Abort.
+  PopResult<Value> weakErase(Key K) {
+    const FindResult F = find(K);
+    if (F.Found == NilIdx)
+      return PopResult<Value>::empty();
+    Node &Target = Pool[F.Found];
+    const std::uint64_t W = Target.ValState.read(std::memory_order_acquire);
+    const TopFields<Value> Fields = ValCodec::unpack(W);
+    if (Fields.Index != Live)
+      return PopResult<Value>::empty();
+    const std::uint64_t NewW = ValCodec::pack(
+        {Dead, Fields.Value, ValCodec::seqAdd(Fields.Seq, 1)});
+    if (!Target.ValState.compareAndSwap(W, NewW))
+      return PopResult<Value>::abort();
+    return PopResult<Value>::value(Fields.Value);
+  }
+
+  std::uint32_t capacity() const { return Cap; }
+  std::uint32_t numThreads() const { return N; }
+
+  /// Distinct keys ever linked (uninstrumented test oracle).
+  std::uint32_t keysEverForTesting() const {
+    return KeysLinked.peekForTesting();
+  }
+
+  /// Live (non-tombstoned) entries, by an uninstrumented level-0 walk.
+  std::uint32_t liveCountForTesting() const {
+    std::uint32_t Count = 0;
+    for (std::uint32_t Cur = Pool[0].Next[0].peekForTesting();
+         Cur != NilIdx; Cur = Pool[Cur].Next[0].peekForTesting())
+      if (ValCodec::unpack(Pool[Cur].ValState.peekForTesting()).Index ==
+          Live)
+        ++Count;
+    return Count;
+  }
+
+  /// Heap owned by the list: the node pool plus the spare-slot table.
+  std::size_t heapBytes() const {
+    return static_cast<std::size_t>(PoolSize) * sizeof(Node) +
+           Spare.capacity() * sizeof(std::uint32_t);
+  }
+
+private:
+  /// Per-key state: immutable identity (Key/Height, published by the
+  /// release link CAS, read only after an acquire link read) plus the
+  /// tagged value/liveness word and the link tower. Key and Height are
+  /// deliberately not atomic registers: they never change after
+  /// publication, so the access oracle counts only the mutable words.
+  struct Node {
+    std::uint32_t Key = 0;
+    std::uint32_t Height = 0;
+    AtomicRegister<std::uint64_t, Policy> ValState;
+    AtomicRegister<std::uint32_t, Policy> Next[MaxLevel];
+  };
+
+  /// Update or revive an existing node at one tagged CAS.
+  PushResult tryUpdate(std::uint32_t NodeIdx, Value V) {
+    Node &Target = Pool[NodeIdx];
+    const std::uint64_t W = Target.ValState.read(std::memory_order_acquire);
+    const TopFields<Value> Fields = ValCodec::unpack(W);
+    const std::uint64_t NewW =
+        ValCodec::pack({Live, V, ValCodec::seqAdd(Fields.Seq, 1)});
+    return Target.ValState.compareAndSwap(W, NewW) ? PushResult::Done
+                                                   : PushResult::Abort;
+  }
+
+  const std::uint32_t Cap;
+  const std::uint32_t N;
+  const std::uint32_t PoolSize;
+  std::unique_ptr<Node[]> Pool;
+  AtomicRegister<std::uint32_t, Policy> NextFree;
+  AtomicRegister<std::uint32_t, Policy> KeysLinked;
+  /// Per-thread speculative node kept across failed link attempts (only
+  /// ever touched by its own thread).
+  std::vector<std::uint32_t> Spare;
+};
+
+} // namespace csobj
+
+#endif // CSOBJ_CORE_SKIPLISTCORE_H

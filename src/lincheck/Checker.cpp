@@ -194,4 +194,53 @@ std::string BoundedQueueSpec::key() const {
   return Key;
 }
 
+bool OrderedMapSpec::apply(const Operation &Op) {
+  const std::uint32_t K = Op.Arg;
+  switch (Op.Code) {
+  case OpCode::Insert:
+    if (Op.Result == ResCode::Done) {
+      // Update/revive is always legal; a fresh key needs envelope room.
+      if (Ever.count(K) == 0 && Ever.size() >= Capacity)
+        return false;
+      Live[K] = Op.RetValue;
+      Ever.insert(K);
+      return true;
+    }
+    return Op.Result == ResCode::Full && Ever.count(K) == 0 &&
+           Ever.size() >= Capacity;
+  case OpCode::Get: {
+    const auto It = Live.find(K);
+    if (Op.Result == ResCode::Value)
+      return It != Live.end() && It->second == Op.RetValue;
+    return Op.Result == ResCode::Empty && It == Live.end();
+  }
+  case OpCode::Erase: {
+    const auto It = Live.find(K);
+    if (Op.Result == ResCode::Value) {
+      if (It == Live.end() || It->second != Op.RetValue)
+        return false;
+      Live.erase(It);
+      return true;
+    }
+    return Op.Result == ResCode::Empty && It == Live.end();
+  }
+  default:
+    return false; // a non-map op in a map history is a harness bug
+  }
+}
+
+std::string OrderedMapSpec::key() const {
+  std::string Key;
+  Key.reserve((Live.size() * 2 + Ever.size() + 1) * 4);
+  for (const auto &[K, V] : Live) {
+    Key.append(reinterpret_cast<const char *>(&K), sizeof(K));
+    Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
+  }
+  const std::uint32_t Sep = 0xFFFFFFFFu;
+  Key.append(reinterpret_cast<const char *>(&Sep), sizeof(Sep));
+  for (std::uint32_t K : Ever)
+    Key.append(reinterpret_cast<const char *>(&K), sizeof(K));
+  return Key;
+}
+
 } // namespace csobj

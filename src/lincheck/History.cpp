@@ -40,8 +40,20 @@ static const char *opName(OpCode Code) {
     return "pop_left";
   case OpCode::PopRight:
     return "pop_right";
+  case OpCode::Get:
+    return "get";
+  case OpCode::Insert:
+    return "insert";
+  case OpCode::Erase:
+    return "erase";
   }
   return "?";
+}
+
+/// True for the keyed map operations (Arg is a key, not a value).
+static bool isMapOp(OpCode Code) {
+  return Code == OpCode::Get || Code == OpCode::Insert ||
+         Code == OpCode::Erase;
 }
 
 std::string History::describe() const {
@@ -49,7 +61,26 @@ std::string History::describe() const {
   for (const Operation &Op : Ops) {
     OS << "t" << Op.Tid << " [" << Op.InvokeNs << ", " << Op.ResponseNs
        << "] " << opName(Op.Code);
-    if (isPushLike(Op.Code))
+    if (isMapOp(Op.Code)) {
+      OS << "(k=" << Op.Arg;
+      if (Op.Code == OpCode::Insert)
+        OS << ", v=" << Op.RetValue;
+      OS << ") -> ";
+      switch (Op.Result) {
+      case ResCode::Done:
+        OS << "done";
+        break;
+      case ResCode::Full:
+        OS << "full";
+        break;
+      case ResCode::Value:
+        OS << Op.RetValue;
+        break;
+      case ResCode::Empty:
+        OS << "empty";
+        break;
+      }
+    } else if (isPushLike(Op.Code))
       OS << "(" << Op.Arg << ") -> "
          << (Op.Result == ResCode::Done ? "done" : "full");
     else if (Op.Result == ResCode::Value)

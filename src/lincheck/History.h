@@ -35,6 +35,9 @@ enum class OpCode : std::uint8_t {
   PushRight, ///< deque: push on the right end
   PopLeft,   ///< deque: pop from the left end
   PopRight,  ///< deque: pop from the right end
+  Get,       ///< map: get(Arg=key) -> Value(RetValue) | Empty
+  Insert,    ///< map: insert(Arg=key, RetValue=value) -> Done | Full
+  Erase,     ///< map: erase(Arg=key) -> Value(old value) | Empty
 };
 
 /// True for the operations that add an element.
@@ -55,9 +58,10 @@ enum class ResCode : std::uint8_t {
 struct Operation {
   std::uint32_t Tid = 0;
   OpCode Code = OpCode::Push;
-  std::uint32_t Arg = 0;       ///< Pushed value (Push only).
+  std::uint32_t Arg = 0;       ///< Pushed value; map ops: the key.
   ResCode Result = ResCode::Done;
-  std::uint32_t RetValue = 0;  ///< Popped value (Result == Value only).
+  std::uint32_t RetValue = 0;  ///< Popped value (Result == Value only);
+                               ///< Insert: the value being inserted.
   std::uint64_t InvokeNs = 0;  ///< Invocation timestamp.
   std::uint64_t ResponseNs = 0;///< Response timestamp.
 };

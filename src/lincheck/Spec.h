@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -114,6 +116,26 @@ public:
 private:
   std::uint32_t Capacity;
   std::deque<std::uint32_t> Contents;
+};
+
+/// Sequential bounded ordered map with a distinct-keys-ever capacity
+/// envelope (tombstone semantics: erase frees the mapping but not the
+/// key's slot, matching core/SkipListCore.h). Insert of a key already in
+/// the ever-set is always Done (update/revive); insert of a fresh key is
+/// Done below the envelope and Full at it. Get/Erase answer the live
+/// mapping or Empty.
+class OrderedMapSpec {
+public:
+  explicit OrderedMapSpec(std::uint32_t Capacity) : Capacity(Capacity) {}
+
+  bool apply(const Operation &Op);
+  std::string key() const;
+  std::size_t size() const { return Live.size(); }
+
+private:
+  std::uint32_t Capacity;
+  std::map<std::uint32_t, std::uint32_t> Live;
+  std::set<std::uint32_t> Ever;
 };
 
 } // namespace csobj

@@ -39,6 +39,7 @@
 
 #include "conformance/Params.h"
 
+#include "baselines/LockedMap.h"
 #include "baselines/LockedQueue.h"
 #include "baselines/LockedStack.h"
 #include "core/AbortableQueue.h"
@@ -46,6 +47,7 @@
 #include "core/BoxedStack.h"
 #include "core/ContentionSensitiveCounter.h"
 #include "core/ContentionSensitiveDeque.h"
+#include "core/ContentionSensitiveMap.h"
 #include "core/ContentionSensitiveQueue.h"
 #include "core/ContentionSensitiveStack.h"
 #include "core/CrashTolerant.h"
@@ -56,6 +58,7 @@
 #include "core/NonBlockingStack.h"
 #include "core/ObstructionFreeDeque.h"
 #include "core/Results.h"
+#include "core/SkipListCore.h"
 #include "core/TimestampBoost.h"
 #include "core/WaitFreeUniversal.h"
 #include "faults/FaultInjector.h"
@@ -1475,6 +1478,416 @@ inline void counterAccessBoundCell() {
 }
 
 //===----------------------------------------------------------------------===
+// Ordered-map cells (custom: keyed get/insert/erase over OrderedMapSpec)
+//===----------------------------------------------------------------------===
+// Adapter contract: using Object; static constexpr bool Strong;
+// make(Threads, Capacity); get/insert/erase(Object&, Tid, Key[, Value]).
+// Concurrent cells run over MapStressKeys keys against MapCapacity so the
+// racy capacity edge stays unreachable (Params.h); the sequential replay
+// cell crosses the Full/tombstone/revive edges at SmallCapacity.
+
+struct CsMapAdapter {
+  using Object = ContentionSensitiveMap<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity, MapRegions);
+  }
+  static PopResult<std::uint32_t> get(Object &O, std::uint32_t Tid,
+                                      std::uint32_t K) {
+    return O.get(Tid, K);
+  }
+  static PushResult insert(Object &O, std::uint32_t Tid, std::uint32_t K,
+                           std::uint32_t V) {
+    return O.insert(Tid, K, V);
+  }
+  static PopResult<std::uint32_t> erase(Object &O, std::uint32_t Tid,
+                                        std::uint32_t K) {
+    return O.erase(Tid, K);
+  }
+};
+
+struct LockedMapAdapter {
+  using Object = LockedMap<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t Capacity) {
+    return std::make_unique<Object>(Threads, Capacity);
+  }
+  static PopResult<std::uint32_t> get(Object &O, std::uint32_t Tid,
+                                      std::uint32_t K) {
+    return O.get(Tid, K);
+  }
+  static PushResult insert(Object &O, std::uint32_t Tid, std::uint32_t K,
+                           std::uint32_t V) {
+    return O.insert(Tid, K, V);
+  }
+  static PopResult<std::uint32_t> erase(Object &O, std::uint32_t Tid,
+                                        std::uint32_t K) {
+    return O.erase(Tid, K);
+  }
+};
+
+/// Records one completed map operation (map ops never abort through the
+/// strong interface; weak aborts are absorbed by the Fig-3 skeleton).
+inline void recordMapInsert(HistoryRecorder &Rec, std::uint32_t K,
+                            std::uint32_t V, PushResult R, std::uint64_t T0,
+                            std::uint64_t T1) {
+  Rec.recordOp(OpCode::Insert, K,
+               R == PushResult::Full ? ResCode::Full : ResCode::Done, V, T0,
+               T1);
+}
+
+inline void recordMapValueOp(HistoryRecorder &Rec, OpCode Code,
+                             std::uint32_t K,
+                             const PopResult<std::uint32_t> &R,
+                             std::uint64_t T0, std::uint64_t T1) {
+  Rec.recordOp(Code, K, R.isValue() ? ResCode::Value : ResCode::Empty,
+               R.isValue() ? R.value() : 0, T0, T1);
+}
+
+/// Solo replay crossing every sequential edge of the ordered-map spec:
+/// miss, fresh insert, update, erase, revive, the distinct-keys-ever
+/// Full boundary, update-at-capacity, and the tombstone-does-not-free
+/// rule — every answer validated against OrderedMapSpec.
+template <typename A> void mapSpecReplayCell() {
+  auto Obj = A::make(1, SmallCapacity);
+  OrderedMapSpec Spec(SmallCapacity);
+
+  const auto Insert = [&](std::uint32_t K, std::uint32_t V,
+                          PushResult Want) {
+    const PushResult R = A::insert(*Obj, 0, K, V);
+    EXPECT_EQ(R, Want) << "insert(" << K << ", " << V << ")";
+    ASSERT_NE(R, PushResult::Abort);
+    Operation Op;
+    Op.Code = OpCode::Insert;
+    Op.Arg = K;
+    Op.RetValue = V;
+    Op.Result = R == PushResult::Full ? ResCode::Full : ResCode::Done;
+    ASSERT_TRUE(Spec.apply(Op)) << "spec rejected insert(" << K << ")";
+  };
+  const auto ValueOp = [&](OpCode Code, std::uint32_t K,
+                           std::optional<std::uint32_t> Want) {
+    const PopResult<std::uint32_t> R = Code == OpCode::Get
+                                           ? A::get(*Obj, 0, K)
+                                           : A::erase(*Obj, 0, K);
+    ASSERT_FALSE(R.isAbort());
+    if (Want.has_value()) {
+      ASSERT_TRUE(R.isValue()) << "op(" << K << ") found nothing";
+      EXPECT_EQ(R.value(), *Want);
+    } else {
+      EXPECT_TRUE(R.isEmpty()) << "op(" << K << ") found " << R.value();
+    }
+    Operation Op;
+    Op.Code = Code;
+    Op.Arg = K;
+    Op.Result = R.isValue() ? ResCode::Value : ResCode::Empty;
+    Op.RetValue = R.isValue() ? R.value() : 0;
+    ASSERT_TRUE(Spec.apply(Op)) << "spec rejected keyed op on " << K;
+  };
+
+  ValueOp(OpCode::Get, 5, std::nullopt);   // miss on empty
+  ValueOp(OpCode::Erase, 5, std::nullopt); // erase miss
+  Insert(1, 11, PushResult::Done);         // fresh
+  Insert(2, 22, PushResult::Done);
+  Insert(1, 12, PushResult::Done);         // update
+  ValueOp(OpCode::Get, 1, 12);
+  ValueOp(OpCode::Erase, 1, 12);           // tombstone
+  ValueOp(OpCode::Get, 1, std::nullopt);
+  Insert(1, 13, PushResult::Done);         // revive
+  ValueOp(OpCode::Get, 1, 13);
+  Insert(3, 33, PushResult::Done);
+  Insert(4, 44, PushResult::Done);         // Ever = {1,2,3,4} == capacity
+  Insert(5, 55, PushResult::Full);         // fresh key at the envelope
+  Insert(2, 23, PushResult::Done);         // update at capacity
+  ValueOp(OpCode::Erase, 2, 23);
+  Insert(5, 55, PushResult::Full);         // tombstones do not free slots
+  Insert(2, 24, PushResult::Done);         // revive at capacity
+  ValueOp(OpCode::Get, 2, 24);
+  ValueOp(OpCode::Get, 5, std::nullopt);
+  if constexpr (requires { Obj->sizeForTesting(); })
+    EXPECT_EQ(Obj->sizeForTesting(), 4u);
+  assertPathConservation(*Obj, 0, 19);
+}
+
+/// Randomized keyed rounds (the stress workhorse shape over
+/// get/insert/erase), each round checked for linearizability against
+/// OrderedMapSpec and for path conservation.
+template <typename A> void mapStressRounds(AsyncMode Mode) {
+  const std::uint32_t Rounds =
+      Mode == AsyncMode::None ? StressRounds : ChaosRounds;
+  for (std::uint32_t Round = 0; Round < Rounds; ++Round) {
+    auto Obj = A::make(StressThreads, MapCapacity);
+    std::vector<HistoryRecorder> Recorders;
+    for (std::uint32_t T = 0; T < StressThreads; ++T)
+      Recorders.emplace_back(T);
+    SpinBarrier Barrier(StressThreads);
+    FaultClock Clock;
+    const FaultPlan Plan =
+        FaultPlan::stallAt(0, StallPlanAtAccess, StallPlanGrants);
+
+    std::vector<std::thread> Threads;
+    for (std::uint32_t T = 0; T < StressThreads; ++T) {
+      Threads.emplace_back([&, T] {
+        SplitMix64 Rng(0x3A9D0ull * (Round + 1) + T);
+        auto RunOps = [&] {
+          Barrier.arriveAndWait();
+          for (std::uint32_t I = 0; I < StressOpsPerThread; ++I) {
+            const std::uint32_t K =
+                static_cast<std::uint32_t>(Rng.below(MapStressKeys));
+            const std::uint64_t Kind = Rng.below(4);
+            const std::uint64_t T0 = HistoryRecorder::now();
+            if (Kind < 2) {
+              const PopResult<std::uint32_t> R = A::get(*Obj, T, K);
+              recordMapValueOp(Recorders[T], OpCode::Get, K, R, T0,
+                               HistoryRecorder::now());
+            } else if (Kind == 2) {
+              const std::uint32_t V = randomValue(Rng);
+              const PushResult R = A::insert(*Obj, T, K, V);
+              recordMapInsert(Recorders[T], K, V, R, T0,
+                              HistoryRecorder::now());
+            } else {
+              const PopResult<std::uint32_t> R = A::erase(*Obj, T, K);
+              recordMapValueOp(Recorders[T], OpCode::Erase, K, R, T0,
+                               HistoryRecorder::now());
+            }
+          }
+        };
+        if (Mode == AsyncMode::Chaos) {
+          ChaosHook Hook(0x9AB5Eull * (Round + 1) + T, ChaosYieldPermille,
+                         ChaosStallPermille, ChaosStallGrants);
+          SchedHookScope Scope(Hook);
+          RunOps();
+        } else if (Mode == AsyncMode::StallPlan) {
+          FaultInjector Hook(Plan, T, Clock);
+          SchedHookScope Scope(Hook);
+          RunOps();
+        } else {
+          RunOps();
+        }
+      });
+    }
+    for (auto &Th : Threads)
+      Th.join();
+
+    assertPathConservation(
+        *Obj, Round,
+        static_cast<std::uint64_t>(StressThreads) * StressOpsPerThread);
+    if (::testing::Test::HasFatalFailure())
+      return;
+    History H = mergeHistories(Recorders);
+    ASSERT_TRUE(H.wellFormed());
+    OrderedMapSpec Spec(MapCapacity);
+    const CheckResult R = checkLinearizable(H, Spec);
+    ASSERT_FALSE(R.HitSearchCap) << "round " << Round;
+    ASSERT_TRUE(R.Linearizable)
+        << "round " << Round << ": " << R.FailureNote << "\n"
+        << H.describe();
+  }
+}
+
+/// Schedule-space random walks over the two conflict shapes that matter:
+/// two writers in the same key region (doorway serialization) and an
+/// insert racing an erase of the same key (ValState CAS interference),
+/// with a concurrent reader in both. Every walk's history must
+/// linearize.
+template <typename A> void mapExploreCell() {
+  // Keys 0 and MapRegions share region 0 under `key % MapRegions`.
+  const auto Scenario = [](std::uint32_t KeyA, std::uint32_t KeyB,
+                           bool EraseRace) {
+    return [KeyA, KeyB, EraseRace] {
+      auto Obj = std::shared_ptr<typename A::Object>(
+          A::make(3, MapCapacity).release());
+      auto Recs = std::make_shared<std::vector<HistoryRecorder>>();
+      for (std::uint32_t T = 0; T < 3; ++T)
+        Recs->emplace_back(T);
+      ScenarioRun Run;
+      Run.Bodies.push_back([Obj, Recs, KeyA] {
+        const std::uint64_t T0 = HistoryRecorder::now();
+        const PushResult R = A::insert(*Obj, 0, KeyA, 11);
+        recordMapInsert((*Recs)[0], KeyA, 11, R, T0,
+                        HistoryRecorder::now());
+      });
+      Run.Bodies.push_back([Obj, Recs, KeyA, KeyB, EraseRace] {
+        const std::uint64_t T0 = HistoryRecorder::now();
+        if (EraseRace) {
+          const PopResult<std::uint32_t> R = A::erase(*Obj, 1, KeyA);
+          recordMapValueOp((*Recs)[1], OpCode::Erase, KeyA, R, T0,
+                           HistoryRecorder::now());
+        } else {
+          const PushResult R = A::insert(*Obj, 1, KeyB, 22);
+          recordMapInsert((*Recs)[1], KeyB, 22, R, T0,
+                          HistoryRecorder::now());
+        }
+      });
+      Run.Bodies.push_back([Obj, Recs, KeyA] {
+        const std::uint64_t T0 = HistoryRecorder::now();
+        const PopResult<std::uint32_t> R = A::get(*Obj, 2, KeyA);
+        recordMapValueOp((*Recs)[2], OpCode::Get, KeyA, R, T0,
+                         HistoryRecorder::now());
+      });
+      Run.PostCheck = [Obj, Recs] {
+        History H = mergeHistories(*Recs);
+        ASSERT_TRUE(H.wellFormed());
+        OrderedMapSpec Spec(MapCapacity);
+        const CheckResult R = checkLinearizable(H, Spec);
+        ASSERT_FALSE(R.HitSearchCap);
+        ASSERT_TRUE(R.Linearizable) << R.FailureNote << "\n"
+                                    << H.describe();
+        assertPathConservation(*Obj, 0, 3);
+      };
+      return Run;
+    };
+  };
+  ScheduleExplorer Explorer;
+  const ExploreResult Writers = Explorer.randomWalks(
+      Scenario(0, MapRegions, /*EraseRace=*/false), RandomWalkRuns,
+      0x3A9E1ull);
+  EXPECT_GT(Writers.Runs, 0u);
+  EXPECT_EQ(Writers.CappedRuns, 0u);
+  const ExploreResult Race = Explorer.randomWalks(
+      Scenario(0, MapRegions, /*EraseRace=*/true), RandomWalkRuns,
+      0x3A9E2ull);
+  EXPECT_GT(Race.Runs, 0u);
+  EXPECT_EQ(Race.CappedRuns, 0u);
+}
+
+/// Solo access bounds for the four op shapes. Exact for the cs-map: the
+/// search reads MaxLevel links top-down (one per level on a tiny map),
+/// so with a height-1 key
+///   get            = 8 search + 1 ValState read               =  9
+///   insert (fresh) = 1 CONTENTION + 8 search + 1 keys-linked
+///                    + 1 alloc F&A + 1 ValState write + 1 link
+///                    write + 1 link C&S + 1 keys-linked F&A    = 15
+///   insert (update)= 1 CONTENTION + 8 search + 1 read + 1 C&S = 11
+///   erase          = 1 CONTENTION + 8 search + 1 read + 1 C&S = 11
+/// — the map's constant-solo-cost analogue of the stack's 6.
+struct MapAccessBounds {
+  std::uint64_t Get = 0;
+  std::uint64_t InsertFresh = 0;
+  std::uint64_t Update = 0;
+  std::uint64_t Erase = 0;
+  bool Exact = false;
+};
+
+template <typename A> void mapAccessBoundCell(MapAccessBounds B) {
+  auto Obj = A::make(StressThreads, MapCapacity);
+  // A deterministic height-1 key keeps the fresh-insert count minimal.
+  std::uint32_t K = 0;
+  while (SkipListCore<>::heightOf(K) != 1)
+    ++K;
+  const std::uint64_t Fresh =
+      countAccesses([&] { (void)A::insert(*Obj, 0, K, 7); }).total();
+  const std::uint64_t Get =
+      countAccesses([&] { (void)A::get(*Obj, 0, K); }).total();
+  const std::uint64_t Update =
+      countAccesses([&] { (void)A::insert(*Obj, 0, K, 8); }).total();
+  const std::uint64_t Erase =
+      countAccesses([&] { (void)A::erase(*Obj, 0, K); }).total();
+  if (B.Exact) {
+    EXPECT_EQ(Fresh, B.InsertFresh);
+    EXPECT_EQ(Get, B.Get);
+    EXPECT_EQ(Update, B.Update);
+    EXPECT_EQ(Erase, B.Erase);
+  } else {
+    EXPECT_LE(Fresh, B.InsertFresh);
+    EXPECT_LE(Get, B.Get);
+    EXPECT_LE(Update, B.Update);
+    EXPECT_LE(Erase, B.Erase);
+  }
+}
+
+/// Crash sweep over the cs-map's *shortcut* shapes (fresh insert,
+/// update, erase). A solo update never aborts, so it never reaches the
+/// region's doorway+lock — every crash point below lands in lock-free
+/// code and the survivor must find the key all-or-nothing and retain
+/// full use of the key's region. (A crash *inside* the region lock is
+/// the documented stall-only class — map_test pins that boundary with a
+/// directed schedule; conservation is not asserted here because a
+/// killed op books its entry but no terminal path.)
+inline void mapCrashSweep() {
+  using Map = ContentionSensitiveMap<>;
+  constexpr std::uint32_t K = 0;
+  constexpr std::uint32_t K2 = K + MapRegions; // same region as K
+
+  const auto SurvivorOwnsRegion = [&](Map &M) {
+    ASSERT_EQ(M.insert(1, K2, 99u), PushResult::Done);
+    const PopResult<std::uint32_t> G = M.get(1, K2);
+    ASSERT_TRUE(G.isValue());
+    EXPECT_EQ(G.value(), 99u);
+    ASSERT_TRUE(M.erase(1, K2).isValue());
+  };
+
+  // Fresh-insert sweep: get(K) afterwards sees the value or nothing.
+  const std::size_t FreshAccesses = runAndCrashAt(
+      [] {
+        Map M(2, MapCapacity, MapRegions);
+        (void)M.insert(0, K, 7);
+      },
+      100000);
+  ASSERT_GT(FreshAccesses, 0u);
+  for (std::size_t C = 0; C < FreshAccesses; ++C) {
+    Map M(2, MapCapacity, MapRegions);
+    runAndCrashAt([&M] { (void)M.insert(0, K, 7); },
+                  static_cast<std::uint32_t>(C));
+    const PopResult<std::uint32_t> G = M.get(1, K);
+    if (G.isValue())
+      EXPECT_EQ(G.value(), 7u) << "crash at " << C << " tore the insert";
+    ASSERT_EQ(M.insert(1, K, 8), PushResult::Done) << "crash at " << C;
+    ASSERT_TRUE(M.get(1, K).isValue());
+    SurvivorOwnsRegion(M);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+
+  // Update sweep: the old or the new value, never a mix.
+  const std::size_t UpdateAccesses = runAndCrashAt(
+      [] {
+        Map M(2, MapCapacity, MapRegions);
+        (void)M.insert(1, K, 7);
+        (void)M.insert(0, K, 9);
+      },
+      100000);
+  const std::size_t PrefillAccesses = runAndCrashAt(
+      [] {
+        Map M(2, MapCapacity, MapRegions);
+        (void)M.insert(1, K, 7);
+      },
+      100000);
+  for (std::size_t C = PrefillAccesses; C < UpdateAccesses; ++C) {
+    Map M(2, MapCapacity, MapRegions);
+    ASSERT_EQ(M.insert(1, K, 7), PushResult::Done);
+    runAndCrashAt([&M] { (void)M.insert(0, K, 9); },
+                  static_cast<std::uint32_t>(C));
+    const PopResult<std::uint32_t> G = M.get(1, K);
+    ASSERT_TRUE(G.isValue()) << "crash at " << C << " lost the key";
+    EXPECT_TRUE(G.value() == 7u || G.value() == 9u)
+        << "crash at " << C << " tore the update: " << G.value();
+    SurvivorOwnsRegion(M);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+
+  // Erase sweep: the value or a tombstone; a revive still works.
+  for (std::size_t C = PrefillAccesses; C < UpdateAccesses; ++C) {
+    Map M(2, MapCapacity, MapRegions);
+    ASSERT_EQ(M.insert(1, K, 7), PushResult::Done);
+    runAndCrashAt([&M] { (void)M.erase(0, K); },
+                  static_cast<std::uint32_t>(C));
+    const PopResult<std::uint32_t> G = M.get(1, K);
+    if (G.isValue())
+      EXPECT_EQ(G.value(), 7u) << "crash at " << C << " tore the erase";
+    ASSERT_EQ(M.insert(1, K, 8), PushResult::Done);
+    const PopResult<std::uint32_t> After = M.get(1, K);
+    ASSERT_TRUE(After.isValue());
+    EXPECT_EQ(After.value(), 8u);
+    SurvivorOwnsRegion(M);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+//===----------------------------------------------------------------------===
 // Spec point: an eliminated pair linearizes back-to-back, off TOP
 //===----------------------------------------------------------------------===
 
@@ -1638,6 +2051,26 @@ BatteryEntry dequeEntry(std::string Name, std::vector<std::string> Headers,
   return E;
 }
 
+template <typename A>
+BatteryEntry mapEntry(std::string Name, std::vector<std::string> Headers,
+                      MapAccessBounds Bounds,
+                      std::function<void()> ExtraCrash = nullptr) {
+  BatteryEntry E;
+  E.Name = std::move(Name);
+  E.CoveredHeaders = std::move(Headers);
+  E.SpecReplay = [] { mapSpecReplayCell<A>(); };
+  E.LincheckStress = [] { mapStressRounds<A>(AsyncMode::None); };
+  E.Explore = [] { mapExploreCell<A>(); };
+  E.Chaos = [] { mapStressRounds<A>(AsyncMode::Chaos); };
+  E.CrashOrStall = [Extra = std::move(ExtraCrash)] {
+    mapStressRounds<A>(AsyncMode::StallPlan);
+    if (Extra && !::testing::Test::HasFatalFailure())
+      Extra();
+  };
+  E.AccessBound = [Bounds] { mapAccessBoundCell<A>(Bounds); };
+  return E;
+}
+
 inline BatteryEntry counterEntry() {
   BatteryEntry E;
   E.Name = "cs-counter";
@@ -1754,6 +2187,16 @@ inline const std::vector<BatteryEntry> &batteryRegistry() {
         AccessBounds{24, 24, false}));
     R.push_back(pushPopEntry<ShardedStackAdapter>(
         "sharded-stack", {}, /*Exhaustive=*/false, AccessBounds{6, 6, true}));
+    // Ordered maps. The cs-map's slow path is a per-region RAII lock, so
+    // stress-crash coverage is stall-plan-only like every Fig-3 entry;
+    // the extra sweep crashes only shortcut shapes, which never hold a
+    // lock (mapCrashSweep's banner states the boundary).
+    R.push_back(mapEntry<CsMapAdapter>(
+        "cs-map", {"ContentionSensitiveMap.h", "SkipListCore.h"},
+        MapAccessBounds{9, 15, 11, 11, /*Exact=*/true},
+        [] { mapCrashSweep(); }));
+    R.push_back(mapEntry<LockedMapAdapter>(
+        "locked-map", {}, MapAccessBounds{16, 16, 16, 16, /*Exact=*/false}));
     return R;
   }();
   return Registry;

@@ -59,6 +59,18 @@ inline constexpr std::uint64_t RandomWalkRuns = 48;
 /// a corpse is detected within a handful of scheduler grants.
 inline constexpr std::uint32_t SmallPatience = 8;
 
+/// Ordered-map battery shape. Concurrent map cells run over a small key
+/// universe (so same-key and same-region conflicts are constant) against
+/// a capacity the universe can never fill: the map's distinct-keys-ever
+/// admission is exact solo but may over-admit when concurrent inserts
+/// race precisely at the capacity boundary (DESIGN.md "Ordered map"), so
+/// the Full edge is exercised by the *sequential* spec-replay cell and
+/// kept unreachable in concurrent rounds. MapRegions=2 keeps both the
+/// same-region doorway and the cross-region independence paths hot.
+inline constexpr std::uint32_t MapCapacity = 64;
+inline constexpr std::uint32_t MapStressKeys = 8;
+inline constexpr std::uint32_t MapRegions = 2;
+
 /// Stall-plan cell: the victim's trigger access and the foreign-access
 /// grants it is held for. Grants comfortably exceed SmallPatience so a
 /// stalled lease can expire, and stay far below any wall-clock default

@@ -105,7 +105,7 @@ TEST(ConformanceRegistryTest, MatrixHasNoEmptyCells) {
     EXPECT_TRUE(E.CrashOrStall) << E.Name;
     EXPECT_TRUE(E.AccessBound) << E.Name;
   }
-  EXPECT_GE(Names.size(), 24u);
+  EXPECT_GE(Names.size(), 26u);
 }
 
 TEST(ConformanceRegistryTest, EveryCoreHeaderHasABatteryEntry) {
