@@ -25,6 +25,7 @@
 #include "core/ContentionSensitiveQueue.h"
 #include "core/ContentionSensitiveStack.h"
 #include "core/CrashTolerantStack.h"
+#include "core/UnboundedStack.h"
 #include "core/NonBlockingQueue.h"
 #include "core/NonBlockingStack.h"
 #include "locks/McsLock.h"
@@ -279,6 +280,27 @@ struct CrashTolerantStackAdapter {
   obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
   obs::Path lastPath(std::uint32_t Tid) const { return Stack.lastPath(Tid); }
   CrashTolerantStack<> Stack;
+};
+
+/// Unbounded contention-sensitive stack (Figure 3 over the chunked
+/// reclaiming Figure 1). Capacity is ignored — the object grows and
+/// shrinks with the live population; Full exists only at the 65535-value
+/// envelope. Exposes the hazard domain so benches can report retire
+/// backlog and resident bytes alongside throughput.
+struct UnboundedCsStackAdapter {
+  static constexpr const char *Name = "unbounded-cs(fig3+hp)";
+  UnboundedCsStackAdapter(std::uint32_t Threads, std::uint32_t /*Capacity*/)
+      : Stack(Threads) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
+  obs::Path lastPath(std::uint32_t Tid) const { return Stack.lastPath(Tid); }
+  std::size_t footprintBytes() const { return Stack.footprintBytes(); }
+  HazardDomain &domain() { return Stack.unbounded().domain(); }
+  ContentionSensitiveUnboundedStack<> Stack;
 };
 
 /// Coarse lock-based stack, parametric in the lock.

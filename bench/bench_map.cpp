@@ -226,6 +226,18 @@ int main() {
 
   Table.print(std::cout);
 
+  // Host-conditional acceptance (the E12 convention): the comparison
+  // only says something with real parallelism. The verdict's *absence*
+  // is recorded in the JSON so the trajectory gate can tell "this host
+  // could not run the check" apart from "the check vanished".
+  const std::uint32_t HwThreads = std::thread::hardware_concurrency();
+  const std::uint32_t Top = threadSweep().back();
+  const bool AcceptanceSkipped = quickMode() || HwThreads < 4 || Top < 4;
+  Json.beginRecord();
+  Json.field("record", "acceptance");
+  Json.field("acceptance_skipped", AcceptanceSkipped);
+  Json.endRecord();
+
   const std::string JsonPath = "BENCH_map.json";
   if (!Json.writeFile(JsonPath)) {
     std::cerr << "error: could not write " << JsonPath << "\n";
@@ -244,11 +256,7 @@ int main() {
     return 0;
   }
 
-  // Host-conditional acceptance (the E12 convention): the comparison
-  // only says something with real parallelism.
-  const std::uint32_t HwThreads = std::thread::hardware_concurrency();
-  const std::uint32_t Top = threadSweep().back();
-  if (HwThreads < 4 || Top < 4) {
+  if (AcceptanceSkipped) {
     std::cout << "SKIP: acceptance check needs >=4 hardware threads and "
                  "a >=4-thread sweep point (host has "
               << HwThreads << ", sweep tops out at " << Top << ")\n";

@@ -1,0 +1,281 @@
+//===- bench/bench_reclamation.cpp - Experiment E17 (reclamation) --------===//
+//
+// Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E17 — cost of unboundedness. The unbounded contention-sensitive
+/// stack (Figure 3 over the chunked reclaiming Figure 1, hazard-pointer
+/// domain) against the bounded Figure 3 stack, sweeping threads x
+/// steady-state population. Each cell prefills half the population
+/// bound, then drives a 50/50 push/pop mix so the live size hovers at
+/// the prefill level while chunks churn through retire -> scan ->
+/// recycle continuously; the smallest population recycles the same few
+/// chunks thousands of times.
+///
+/// Three questions, three column groups in BENCH_reclamation.json:
+///
+///  * throughput_ops_per_sec — what the hazard publication costs on the
+///    operation path (the solo bound is 6 accesses either way; this
+///    measures the uncounted overhead);
+///  * object_bytes / bytes_per_element — whether resident memory tracks
+///    the live population instead of a preallocated worst case;
+///  * retire_backlog_high_water / retire_backlog_final vs
+///    scan_threshold — whether the amortized scan really bounds
+///    deferred garbage at O(threads x hazard slots).
+///
+/// Conservation: successful pushes minus successful pops must equal the
+/// final size minus the prefill, every cell, both objects. The backlog
+/// bound (high water <= scan threshold) and a drained final backlog are
+/// hard failures, any mode.
+///
+/// Acceptance (full mode — the quick sweep's populations are too small
+/// to amortize the fixed hazard-domain and pool-registry overheads): at
+/// the largest population and top thread count, the unbounded stack's
+/// bytes_per_element must stay within 2x of the bounded baseline's. The
+/// verdict's presence is recorded the E12/E16 way, as an acceptance
+/// marker record.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "memory/ChaosHook.h"
+#include "obs/JsonReporter.h"
+#include "obs/MetricsJson.h"
+#include "runtime/SpinBarrier.h"
+#include "runtime/TablePrinter.h"
+#include "support/SplitMix64.h"
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace csobj;
+using namespace csobj::bench;
+
+struct CellResult {
+  std::uint64_t Ops = 0;
+  double DurationSec = 0.0;
+  std::uint64_t Pushed = 0;
+  std::uint64_t Popped = 0;
+  bool Conserves = false;
+  std::uint64_t ObjectBytes = 0;
+  std::uint64_t FinalSize = 0;
+  // Hazard-domain columns; zero for the bounded baseline (no domain).
+  std::uint64_t BacklogHighWater = 0;
+  std::uint64_t BacklogFinal = 0;
+  std::uint64_t ScanThreshold = 0;
+  bool BacklogBounded = true;
+  double opsPerSec() const {
+    return DurationSec > 0.0 ? static_cast<double>(Ops) / DurationSec : 0.0;
+  }
+};
+
+/// One churn cell: prefill Population/2, then Threads workers each
+/// issuing opsPerThread() ops, 50/50 push/pop on uniform coin flips.
+template <typename AdapterT>
+CellResult runChurnCell(std::uint32_t Threads, std::uint32_t Population,
+                        const ChaosSettings &Chaos) {
+  AdapterT Adapter(Threads, /*Capacity=*/Population);
+  const std::uint32_t Prefill = Population / 2;
+  for (std::uint32_t I = 0; I < Prefill; ++I)
+    Adapter.prefillOne(I + 1);
+
+  const std::uint64_t Ops = opsPerThread();
+  SpinBarrier StartLine(Threads + 1);
+  std::vector<double> Span(Threads, 0.0);
+  std::vector<std::uint64_t> Pushes(Threads, 0), Pops(Threads, 0);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (std::uint32_t T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      ChaosHook Hook(/*Seed=*/0xE17ull * (T + 1),
+                     Threads > 1 ? Chaos.YieldPermille : 0,
+                     Threads > 1 ? Chaos.StallPermille : 0,
+                     Chaos.StallGrants);
+      SchedHookScope Scope(Hook);
+      SplitMix64 Rng(0xE17E17ull + 0x9E37ull * (T + 1));
+      StartLine.arriveAndWait();
+      const auto Begin = std::chrono::steady_clock::now();
+      for (std::uint64_t I = 0; I < Ops; ++I) {
+        std::uint64_t Retries = 0;
+        if (Rng.below(2) == 0) {
+          if (Adapter.apply(T, /*IsPush=*/true,
+                            static_cast<std::uint32_t>(I + 1),
+                            Retries) == OpOutcome::Ok)
+            ++Pushes[T];
+        } else {
+          if (Adapter.apply(T, /*IsPush=*/false, 0, Retries) ==
+              OpOutcome::Ok)
+            ++Pops[T];
+        }
+      }
+      const auto End = std::chrono::steady_clock::now();
+      Span[T] = std::chrono::duration<double>(End - Begin).count();
+    });
+
+  StartLine.arriveAndWait();
+  for (std::thread &W : Workers)
+    W.join();
+
+  CellResult R;
+  R.Ops = static_cast<std::uint64_t>(Threads) * Ops;
+  for (const double S : Span)
+    R.DurationSec = std::max(R.DurationSec, S);
+  for (std::uint32_t T = 0; T < Threads; ++T) {
+    R.Pushed += Pushes[T];
+    R.Popped += Pops[T];
+  }
+  R.FinalSize = Adapter.Stack.sizeForTesting();
+  R.Conserves =
+      static_cast<std::int64_t>(R.FinalSize) - Prefill ==
+      static_cast<std::int64_t>(R.Pushed) - static_cast<std::int64_t>(R.Popped);
+  if constexpr (requires { Adapter.domain(); }) {
+    // High water is sampled before the quiescent drain so the bound is
+    // judged on the run itself, not on the cleanup.
+    R.BacklogHighWater = Adapter.domain().retireHighWater();
+    R.ScanThreshold = Adapter.domain().scanThreshold();
+    Adapter.domain().quiescentScanAll();
+    R.BacklogFinal = Adapter.domain().retireBacklog();
+    R.BacklogBounded = R.BacklogHighWater <= R.ScanThreshold &&
+                       R.BacklogFinal == 0;
+  }
+  // Footprint after the drain: steady-state resident memory.
+  R.ObjectBytes = Adapter.footprintBytes();
+  return R;
+}
+
+struct SweepOutput {
+  TablePrinter &Table;
+  JsonReporter &Json;
+  /// bytes_per_element keyed by (object, threads, population).
+  std::map<std::string,
+           std::map<std::uint32_t, std::map<std::uint32_t, double>>>
+      BytesPerElement;
+  bool AllConserved = true;
+  bool AllBounded = true;
+};
+
+template <typename AdapterT>
+void runRows(SweepOutput &Out,
+             const std::vector<std::uint32_t> &Populations) {
+  for (const std::uint32_t Threads : threadSweep()) {
+    for (const std::uint32_t Population : Populations) {
+      ChaosSettings Chaos;
+      Chaos.YieldPermille = DefaultChaosPermille;
+      if (const std::optional<ChaosSettings> Env = chaosFromEnv())
+        Chaos = *Env;
+      const CellResult R = runChurnCell<AdapterT>(Threads, Population, Chaos);
+      Out.AllConserved = Out.AllConserved && R.Conserves;
+      Out.AllBounded = Out.AllBounded && R.BacklogBounded;
+      const double BytesPerElem =
+          R.FinalSize ? static_cast<double>(R.ObjectBytes) /
+                            static_cast<double>(R.FinalSize)
+                      : static_cast<double>(R.ObjectBytes);
+      Out.BytesPerElement[AdapterT::Name][Threads][Population] = BytesPerElem;
+      Out.Table.addRow(
+          {AdapterT::Name, std::to_string(Threads),
+           std::to_string(Population), formatRate(R.opsPerSec()),
+           formatDouble(BytesPerElem, 1), std::to_string(R.BacklogHighWater),
+           std::to_string(R.ScanThreshold), R.Conserves ? "yes" : "NO"});
+      Out.Json.beginRecord();
+      Out.Json.field("object", AdapterT::Name);
+      Out.Json.field("threads", Threads);
+      Out.Json.field("capacity", Population);
+      Out.Json.field("ops", R.Ops);
+      Out.Json.field("duration_sec", R.DurationSec);
+      Out.Json.field("throughput_ops_per_sec", R.opsPerSec());
+      Out.Json.field("pushed", R.Pushed);
+      Out.Json.field("popped", R.Popped);
+      Out.Json.field("final_size", R.FinalSize);
+      Out.Json.field("conserves", R.Conserves);
+      obs::emitMemoryFootprint(Out.Json, R.ObjectBytes,
+                               R.FinalSize ? R.FinalSize : 1);
+      Out.Json.field("retire_backlog_high_water", R.BacklogHighWater);
+      Out.Json.field("retire_backlog_final", R.BacklogFinal);
+      Out.Json.field("scan_threshold", R.ScanThreshold);
+      Out.Json.endRecord();
+    }
+  }
+}
+
+} // namespace
+
+int main() {
+  printRegisterPolicy(std::cout);
+
+  const std::vector<std::uint32_t> Populations = quickMode()
+                                                     ? std::vector<std::uint32_t>{64, 512}
+                                                     : std::vector<std::uint32_t>{64, 512, 4096};
+
+  TablePrinter Table({"object", "threads", "population", "ops/s",
+                      "bytes/elem", "backlog-hw", "scan-thresh",
+                      "conserves"});
+  Table.setTitle("E17: unbounded (hazard-pointer) vs bounded fig3 stack");
+  JsonReporter Json;
+  SweepOutput Out{Table, Json, {}, true, true};
+
+  runRows<UnboundedCsStackAdapter>(Out, Populations);
+  runRows<CsStackAdapter>(Out, Populations);
+
+  Table.print(std::cout);
+
+  // The acceptance below is full-mode only: not for scheduling noise
+  // (memory accounting is deterministic enough on any host) but because
+  // the quick sweep tops out at a population too small to amortize the
+  // fixed hazard-domain and pool-registry overheads the 2x band is not
+  // about.
+  const bool AcceptanceSkipped = quickMode();
+  Json.beginRecord();
+  Json.field("record", "acceptance");
+  Json.field("acceptance_skipped", AcceptanceSkipped);
+  Json.endRecord();
+
+  const std::string JsonPath = "BENCH_reclamation.json";
+  if (!Json.writeFile(JsonPath)) {
+    std::cerr << "error: could not write " << JsonPath << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << JsonPath << "\n";
+
+  if (!Out.AllConserved) {
+    std::cerr << "FAIL: a cell's push/pop ledger does not conserve\n";
+    return 1;
+  }
+  if (!Out.AllBounded) {
+    std::cerr << "FAIL: a retire backlog exceeded the scan threshold or "
+                 "failed to drain at quiescence\n";
+    return 1;
+  }
+
+  if (AcceptanceSkipped) {
+    std::cout << "SKIP: bytes/element acceptance is full-mode only "
+                 "(CSOBJ_BENCH_QUICK=1)\n";
+    return 0;
+  }
+
+  const std::uint32_t Top = threadSweep().back();
+  const std::uint32_t Wide = Populations.back();
+  const double Unbounded =
+      Out.BytesPerElement[UnboundedCsStackAdapter::Name][Top][Wide];
+  const double Bounded = Out.BytesPerElement[CsStackAdapter::Name][Top][Wide];
+  std::cout << "at " << Top << " threads, population " << Wide
+            << ": unbounded " << formatDouble(Unbounded, 1)
+            << " bytes/elem  bounded " << formatDouble(Bounded, 1)
+            << " bytes/elem\n";
+  if (Bounded > 0.0 && Unbounded <= 2.0 * Bounded) {
+    std::cout << "PASS: unbounded stack's steady-state bytes/element is "
+                 "within 2x of the bounded baseline\n";
+    return 0;
+  }
+  std::cerr << "FAIL: unbounded stack pays more than 2x the bounded "
+               "baseline's bytes/element at steady state\n";
+  return 1;
+}

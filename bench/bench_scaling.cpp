@@ -130,6 +130,21 @@ int main() {
 
   Table.print(std::cout);
 
+  // Host-conditional acceleration check: with real parallelism (>=4
+  // hardware threads), at the 4-thread point at least one accelerated
+  // variant must beat the plain Figure 3 stack on its best mix. On
+  // fewer cores the sweep is still structurally valid but every stack
+  // is time-sliced onto the same core, so the comparison says nothing.
+  // Whether it ran is recorded in the JSON so the trajectory gate can
+  // tell a small-host skip apart from a vanished check.
+  const std::uint32_t HwThreads = std::thread::hardware_concurrency();
+  const std::uint32_t Top = threadSweep().back();
+  const bool AcceptanceSkipped = HwThreads < 4 || Top < 4;
+  Json.beginRecord();
+  Json.field("record", "acceptance");
+  Json.field("acceptance_skipped", AcceptanceSkipped);
+  Json.endRecord();
+
   const std::string JsonPath = "BENCH_scaling.json";
   if (!Json.writeFile(JsonPath)) {
     std::cerr << "error: could not write " << JsonPath << "\n";
@@ -137,14 +152,7 @@ int main() {
   }
   std::cout << "\nwrote " << JsonPath << "\n";
 
-  // Host-conditional acceleration check: with real parallelism (>=4
-  // hardware threads), at the 4-thread point at least one accelerated
-  // variant must beat the plain Figure 3 stack on its best mix. On
-  // fewer cores the sweep is still structurally valid but every stack
-  // is time-sliced onto the same core, so the comparison says nothing.
-  const std::uint32_t HwThreads = std::thread::hardware_concurrency();
-  const std::uint32_t Top = threadSweep().back();
-  if (HwThreads < 4 || Top < 4) {
+  if (AcceptanceSkipped) {
     std::cout << "SKIP: acceleration check needs >=4 hardware threads and "
                  "a >=4-thread sweep point (host has "
               << HwThreads << ", sweep tops out at " << Top << ")\n";

@@ -15,6 +15,12 @@
 /// go to BENCH_soak.json; scripts/check_trajectory.py diffs that file
 /// against the committed baseline in CI.
 ///
+/// Two scenarios share the schedule and campaign: the bounded
+/// crash-tolerant stack (lease/arbiter reclamation) and the unbounded
+/// contention-sensitive stack (hazard-pointer reclamation, where a
+/// crashed worker's retire backlog is drained by its resurrected
+/// successor). One record per scenario.
+///
 /// Full mode: ~60s soak, three campaign phases (calm / crash storm /
 /// stall bursts). CSOBJ_BENCH_QUICK=1: ~3s smoke with the same
 /// structure, for CI schema + conservation validation.
@@ -126,24 +132,22 @@ void emitWindow(JsonReporter &Json, const soak::WindowStats &W) {
   Json.endObject();
 }
 
-} // namespace
-
-int main() {
-  printRegisterPolicy(std::cout);
-  const bool Quick = quickMode();
-  const soak::SoakConfig Config = makeConfig(Quick);
-
-  std::cout << "E15: soaking crash-tolerant stack for "
-            << Config.DurationSec << "s (" << Config.Workers << " workers, "
+/// Runs one soak scenario and appends its record to \p Json. Returns
+/// the report so main can aggregate verdicts.
+template <typename AdapterT>
+soak::SoakReport runScenario(JsonReporter &Json,
+                             const soak::SoakConfig &Config, bool Quick,
+                             const char *Title) {
+  std::cout << "E15: soaking " << Title << " for " << Config.DurationSec
+            << "s (" << Config.Workers << " workers, "
             << Config.Schedule.Keys << " keys, window " << Config.WindowSec
             << "s)...\n";
 
-  const soak::SoakReport R =
-      soak::runSoak<CrashTolerantStackAdapter>(Config);
+  const soak::SoakReport R = soak::runSoak<AdapterT>(Config);
 
   TablePrinter Table({"window", "arrivals", "done", "backlog", "crash",
                       "stall", "stuck", "degr%", "soj p99", "conserve"});
-  Table.setTitle("E15: soak windows (crash-tolerant stack)");
+  Table.setTitle(std::string("E15: soak windows (") + Title + ")");
   for (const soak::WindowStats &W : R.Windows)
     Table.addRow({std::to_string(W.Index), std::to_string(W.Arrivals),
                   std::to_string(W.Completed), std::to_string(W.Backlog),
@@ -155,9 +159,8 @@ int main() {
                   W.Conserves ? "ok" : "VIOLATED"});
   Table.print(std::cout);
 
-  JsonReporter Json;
   Json.beginRecord();
-  Json.field("object", CrashTolerantStackAdapter::Name);
+  Json.field("object", AdapterT::Name);
   Json.field("experiment", "soak");
   Json.field("quick", Quick);
   Json.field("workers", Config.Workers);
@@ -198,31 +201,57 @@ int main() {
   Json.endArray();
   Json.endRecord();
 
+  std::cout << "totals: " << R.TotalCompleted << "/" << R.TotalArrivals
+            << " completed, " << R.TotalShed << " shed, " << R.TotalCrashes
+            << " crashes, " << R.TotalStalls << " stalls, "
+            << R.TotalStuckOps << " stuck\n";
+  if (R.Verdict.Pass) {
+    std::cout << "PASS: SLO verdict clean over " << R.Windows.size()
+              << " windows\n\n";
+  } else {
+    std::cerr << "FAIL: " << R.Verdict.Violations.size()
+              << " SLO violation(s):\n";
+    for (const soak::SloViolation &V : R.Verdict.Violations) {
+      std::cerr << "  " << V.Metric;
+      if (!V.wholeRun())
+        std::cerr << " @window " << V.Window;
+      std::cerr << ": observed " << V.Observed << " budget " << V.Budget
+                << "\n";
+    }
+  }
+  return R;
+}
+
+} // namespace
+
+int main() {
+  printRegisterPolicy(std::cout);
+  const bool Quick = quickMode();
+  const soak::SoakConfig Config = makeConfig(Quick);
+
+  JsonReporter Json;
+
+  // Scenario 1: the bounded crash-tolerant stack (lease reclamation).
+  const soak::SoakReport Bounded = runScenario<CrashTolerantStackAdapter>(
+      Json, Config, Quick, "crash-tolerant stack");
+
+  // Scenario 2: the unbounded contention-sensitive stack. Same arrival
+  // schedule and fault campaign, but reclamation is the hazard-pointer
+  // domain: crashed workers abandon pinned chunks mid-operation and
+  // their retire lists are drained by their resurrected successors, so
+  // window conservation here soaks the E17 substrate, not the arbiter.
+  const soak::SoakReport Unbounded = runScenario<UnboundedCsStackAdapter>(
+      Json, Config, Quick, "unbounded cs stack");
+
   const std::string JsonPath = "BENCH_soak.json";
   if (!Json.writeFile(JsonPath)) {
     std::cerr << "error: could not write " << JsonPath << "\n";
     return 1;
   }
-  std::cout << "\nwrote " << JsonPath << "\n";
+  std::cout << "wrote " << JsonPath << "\n";
 
-  std::cout << "totals: " << R.TotalCompleted << "/" << R.TotalArrivals
-            << " completed, " << R.TotalShed << " shed, " << R.TotalCrashes
-            << " crashes, " << R.TotalStalls << " stalls, "
-            << R.TotalStuckOps << " stuck\n";
-
-  if (R.Verdict.Pass) {
-    std::cout << "PASS: SLO verdict clean over " << R.Windows.size()
-              << " windows\n";
+  if (Bounded.Verdict.Pass && Unbounded.Verdict.Pass)
     return 0;
-  }
-  std::cerr << "FAIL: " << R.Verdict.Violations.size()
-            << " SLO violation(s):\n";
-  for (const soak::SloViolation &V : R.Verdict.Violations) {
-    std::cerr << "  " << V.Metric;
-    if (!V.wholeRun())
-      std::cerr << " @window " << V.Window;
-    std::cerr << ": observed " << V.Observed << " budget " << V.Budget
-              << "\n";
-  }
+  std::cerr << "FAIL: a soak scenario missed its SLO\n";
   return 1;
 }

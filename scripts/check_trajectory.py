@@ -77,9 +77,19 @@ HIGHER_IS_WORSE = (  # regression = candidate value RISES
 # Boolean fields that must never flip healthy -> unhealthy.
 BOOL_HEALTH = ("slo_pass", "conserve", "conserves")
 
+# Boolean marker fields that say WHICH record this is rather than how
+# healthy it is. "acceptance_skipped" records that a bench binary's
+# host-conditional in-binary acceptance check self-skipped (quick mode
+# or <4 hardware threads); a skip on a small CI host is not a
+# regression, so the flag joins the record's identity instead of being
+# gated like BOOL_HEALTH.
+IDENTITY_BOOLS = ("acceptance_skipped",)
+
 
 def classify(name):
     """Return 'lower', 'higher', 'bool', or None (ungated)."""
+    if name in IDENTITY_BOOLS:
+        return None
     for pat in BOOL_HEALTH:
         if pat in name:
             return "bool"
@@ -99,6 +109,8 @@ def identity(record):
         value = record[key]
         if isinstance(value, str) or (key in KEY_FIELDS and
                                       isinstance(value, int)):
+            parts.append((key, value))
+        elif key in IDENTITY_BOOLS and isinstance(value, bool):
             parts.append((key, value))
     return tuple(parts)
 

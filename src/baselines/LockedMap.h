@@ -6,10 +6,11 @@
 ///
 /// \file
 /// The coarse-grained baseline the contention-sensitive map (E16) has to
-/// beat: a sorted array with tombstones, fully serialized — reads
-/// included — by one lock. Capacity counts distinct keys ever inserted,
-/// exactly the envelope SkipListCore enforces, so the two objects answer
-/// Full identically and share OrderedMapSpec.
+/// beat: a sorted array, fully serialized — reads included — by one
+/// lock. Capacity counts *live* keys (erase physically removes the
+/// entry and frees its slot), exactly the semantics SkipListCore
+/// enforces via reclamation, so the two objects answer Full identically
+/// and share OrderedMapSpec.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,7 +43,7 @@ public:
   PopResult<Value> get(std::uint32_t Tid, Key K) {
     ScopedLock<Lock> Hold(Guard, Tid);
     const Entry *E = lookup(K);
-    if (E == nullptr || !E->Live)
+    if (E == nullptr)
       return PopResult<Value>::empty();
     return PopResult<Value>::value(E->Val);
   }
@@ -51,7 +52,6 @@ public:
     ScopedLock<Lock> Hold(Guard, Tid);
     if (Entry *E = lookup(K)) {
       E->Val = V;
-      E->Live = true;
       return PushResult::Done;
     }
     if (Entries.size() >= CapacityK)
@@ -60,26 +60,24 @@ public:
                                     [](const Entry &E, Key Needle) {
                                       return E.K < Needle;
                                     }),
-                   Entry{K, V, true});
+                   Entry{K, V});
     return PushResult::Done;
   }
 
   PopResult<Value> erase(std::uint32_t Tid, Key K) {
     ScopedLock<Lock> Hold(Guard, Tid);
     Entry *E = lookup(K);
-    if (E == nullptr || !E->Live)
+    if (E == nullptr)
       return PopResult<Value>::empty();
-    E->Live = false;
-    return PopResult<Value>::value(E->Val);
+    const Value Old = E->Val;
+    Entries.erase(Entries.begin() + (E - Entries.data()));
+    return PopResult<Value>::value(Old);
   }
 
   std::uint32_t capacity() const { return CapacityK; }
 
   std::uint32_t sizeForTesting() const {
-    std::uint32_t Count = 0;
-    for (const Entry &E : Entries)
-      Count += E.Live ? 1 : 0;
-    return Count;
+    return static_cast<std::uint32_t>(Entries.size());
   }
 
   /// Resident bytes (header + entry storage), for bytes_per_element.
@@ -91,7 +89,6 @@ private:
   struct Entry {
     Key K;
     Value Val;
-    bool Live;
   };
 
   Entry *lookup(Key K) {

@@ -7,7 +7,7 @@
 /// \file
 /// The first pointer-based key-value object: the paper's Figure 3
 /// contention-sensitive pattern applied per key region over a shared
-/// tombstone skip list (core/SkipListCore.h).
+/// reclaiming skip list (core/SkipListCore.h).
 ///
 /// Layout: one SkipListCore holds every key; keys are partitioned into R
 /// regions by `key % R`, and each region owns its own Figure 3 skeleton
@@ -73,8 +73,9 @@ public:
 
   static constexpr std::uint32_t DefaultRegionCount = 8;
 
-  /// \p NumThreads is the paper's n; \p Capacity bounds distinct keys
-  /// ever inserted; \p RegionCount is the number of independent Fig-3
+  /// \p NumThreads is the paper's n; \p Capacity bounds *live* distinct
+  /// keys (erase frees capacity — the skip list physically removes and
+  /// recycles nodes); \p RegionCount is the number of independent Fig-3
   /// doorway+lock instances (1 degenerates to a single global slow path).
   ContentionSensitiveMap(std::uint32_t NumThreads, std::uint32_t Capacity,
                          std::uint32_t RegionCount = DefaultRegionCount)
@@ -92,7 +93,7 @@ public:
   /// CONTENTION, never enters a doorway — but still books exactly one
   /// op + one Shortcut path so region snapshots conserve across reads.
   PopResult<Value> get(std::uint32_t Tid, Key K) const {
-    const PopResult<Value> Res = Weak.get(K);
+    const PopResult<Value> Res = Weak.get(Tid, K);
     obs::MetricSink &Sink = Skels[regionOf(K)]->metrics();
     Sink.onOp(Tid);
     Sink.onPath(Tid, obs::Path::Shortcut);
@@ -114,8 +115,8 @@ public:
   /// strong erase: the old value or Empty, never Abort.
   PopResult<Value> erase(std::uint32_t Tid, Key K) {
     return Skels[regionOf(K)]->strongApply(
-        Tid, [this, K]() -> std::optional<PopResult<Value>> {
-          const PopResult<Value> Res = Weak.weakErase(K);
+        Tid, [this, Tid, K]() -> std::optional<PopResult<Value>> {
+          const PopResult<Value> Res = Weak.weakErase(Tid, K);
           if (Res.isAbort())
             return std::nullopt; // res = bottom
           return Res;

@@ -1,4 +1,4 @@
-//===- core/SkipListCore.h - Tombstone skip list (weak ops) -----*- C++ -*-===//
+//===- core/SkipListCore.h - Reclaiming skip list (weak ops) ----*- C++ -*-===//
 //
 // Part of csobj, a reproduction of Mostefaoui & Raynal (PI-1969, 2011).
 //
@@ -6,55 +6,65 @@
 ///
 /// \file
 /// The weak (abortable) half of the contention-sensitive ordered map: a
-/// bounded skip list over uint32 keys whose update operations are single
+/// skip list over uint32 keys whose update operations are single
 /// Compare&Swap attempts — they either take effect atomically or answer
-/// the paper's bottom (Abort) — and whose search path is wait-free and
-/// never writes.
+/// the paper's bottom (Abort) — and whose search path performs the same
+/// counted reads as the pre-reclamation tombstone design.
 ///
-/// The first pointer-based object in the library meets the ABA problem
-/// head on, and the design dodges it structurally instead of tagging
-/// every link:
+/// This revision replaces tombstone-forever semantics with physical
+/// removal over the reclamation substrate (memory/HazardDomain.h):
 ///
-///  * Nodes are never unlinked. A key's node is allocated from a fixed
-///    pool on first insert and stays in the list forever; erase marks it
-///    Dead (a tombstone) and a later insert of the same key revives it.
-///    Because the structure only grows, the key of any Next link strictly
-///    decreases over that register's lifetime (each successful link CAS
-///    installs a node that sorts strictly earlier in the remaining
-///    window), so a link register never repeats a value and the link
-///    CASes need no tag at all.
-///  * The one word that does cycle — a node's value/liveness — is a
-///    TaggedValue TopCodec word <state:2 | seq:30 | value:32>: state is
-///    Live/Dead, seq is the Section 2.2 sequence tag bumped by every
-///    update, value is the mapped payload. A sleeping updater is fooled
-///    only if exactly 2^30 updates of that key land between its read and
-///    its C&S.
+///  * **Logical erase is unchanged**: one ValState CAS Live -> Dead is
+///    the linearization point. The CAS winner then owns *physical*
+///    removal: it marks the node's link words (Harris-style, bit 31 of
+///    every Next word), snips the node out of each lane, and retires it
+///    to the hazard domain. All of that runs on the uncounted
+///    reclamation channel — and because the fault injectors fire only at
+///    instrumented accesses, the whole removal tail is crash-atomic with
+///    the CAS that linearized it.
+///  * **Capacity counts live keys**, not keys-ever: erase frees
+///    capacity. Full is certified abort-when-uncertain against a
+///    versioned live counter — the counter word is read before and
+///    after the absence re-search, and any change answers Abort instead
+///    of risking an unsound Full.
+///  * **Traversals pin nodes before trusting them.** Each step publishes
+///    a hazard on the next node and re-validates the link that led to it
+///    (an uncounted re-read); a validated node cannot be recycled under
+///    the reader. A traversal that meets a marked node helps snip it
+///    (uncounted CAS) and a snip into a marked predecessor fails by
+///    construction, because the mark lives in the same word the snip
+///    expects unmarked.
+///  * **Revival is abolished.** An insert that finds a Dead node goes
+///    down the fresh path and links a new node for the key *in front of*
+///    the dying one (equal keys sit adjacent, live shadow first); update
+///    CASes succeed only on Live words. This removes the revive-vs-
+///    removal race entirely.
+///  * **Storage is a segmented, grow-on-demand pool** with a free list
+///    fed by hazard scans. Nodes are addressed by index (bit 31 of a
+///    link word is the mark, so indices are 31-bit); segments are
+///    pointer-stable and published through a fixed directory, so a
+///    pinned node never moves. The pool's growth is bounded by live
+///    keys + per-thread spares + the domain's retire backlog
+///    (O(threads^2 x slots) worst case, typically far less), not by
+///    keys-ever.
 ///
-/// Operation contract (all linearizable at a single register access):
-///  * find/get: wait-free, read-only. Bounded by the pool size because
-///    keys strictly increase along any traversal path.
-///  * weakInsert: update/revive an existing key via one ValState CAS, or
-///    link a new node via one level-0 CAS (upper levels are linked
-///    best-effort, one attempt each — a node missing its express lanes
-///    is slower to reach, never incorrect). A failed CAS answers Abort.
-///  * weakErase: one ValState CAS Live -> Dead. Abort on interference.
+/// Insert's express lanes stay best-effort (one CAS per level). With
+/// reclamation this needs one extra rule: a lane whose link CAS lost is
+/// immediately marked dead in the node's own word, so a traversal
+/// descending through the node at that level falls back to the head
+/// instead of following a rotting pointer.
 ///
-/// Capacity counts distinct keys ever inserted (tombstones do not free
-/// slots — that is the price of no reclamation; the ROADMAP's
-/// hazard-pointer item is where reclamation lands). Full answers are
-/// always sound: the linked-keys counter is monotone and only bumped
-/// after a successful link, and the Full path re-validates absence after
-/// reading the counter, so at the second search's level-0 window read
-/// the key is absent while the counter already reached capacity. The
-/// admit side is checked before the link CAS, so concurrent inserts
-/// racing exactly at the capacity boundary can over-admit by at most one
-/// key per thread; the pool carries 2n spare nodes to absorb that plus
-/// per-thread speculative nodes (see DESIGN.md "Ordered map" for the
-/// honest statement of this envelope).
+/// Solo (contention-free) counted access costs are unchanged for get
+/// (8 miss / 9 hit), update and erase-hit (11 each through the Fig-3
+/// wrapper) and lower for fresh insert (15 -> 11: the capacity counter
+/// is read once for admission, and node allocation/initialisation of
+/// unreachable storage — never a shared-memory access in the paper's
+/// convention — is now uniformly uncounted). Erased keys physically
+/// vanish, so probing one costs a plain miss, not a tombstone read.
 ///
-/// Node heights are a deterministic hash of the key (geometric, p=1/2,
-/// capped at MaxLevel), so directed interleaving tests can pick keys of
-/// known height and solo access counts are reproducible.
+/// Node heights remain a deterministic hash of the key (geometric,
+/// p=1/2, capped at MaxLevel), so directed interleaving tests can pick
+/// keys of known height and solo access counts are reproducible.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,8 +73,10 @@
 
 #include "core/Results.h"
 #include "memory/AtomicRegister.h"
+#include "memory/HazardDomain.h"
 #include "memory/TaggedValue.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -73,7 +85,7 @@
 
 namespace csobj {
 
-/// Bounded tombstone skip list with abortable single-CAS updates.
+/// Reclaiming skip list with abortable single-CAS updates.
 /// \tparam Policy register policy (Instrumented / Fast).
 template <typename Policy = DefaultRegisterPolicy>
 class SkipListCore {
@@ -84,8 +96,16 @@ public:
 
   /// Tower height cap; also the solo search cost in level reads.
   static constexpr std::uint32_t MaxLevel = 8;
-  /// Null link (0 is the head sentinel's pool slot).
-  static constexpr std::uint32_t NilIdx = 0xFFFFFFFFu;
+  /// Null link. Indices are 31-bit: bit 31 of a link word is the
+  /// Harris mark ("the node owning this word is being removed").
+  static constexpr std::uint32_t NilIdx = 0x7FFFFFFFu;
+  static constexpr std::uint32_t MarkBit = 0x80000000u;
+  /// Hazard slots per thread: a (pred, succ) pair per level, so a
+  /// find's whole window stays pinned until the caller's link CASes.
+  static constexpr std::uint32_t HazardSlots = 2 * MaxLevel;
+  /// Nodes per pool segment (segments are pointer-stable; the directory
+  /// publishes them once).
+  static constexpr std::uint32_t SegmentNodes = 64;
 
   /// The per-node value/liveness word: <state:2 | seq:30 | value:32>.
   /// The codec's index field is repurposed as the liveness state.
@@ -93,19 +113,33 @@ public:
   static constexpr std::uint32_t Dead = 0;
   static constexpr std::uint32_t Live = 1;
 
-  /// \p NumThreads bounds the speculative/over-admitted node slack;
-  /// \p Capacity is the distinct-keys-ever bound. Construct outside
-  /// counting scopes: initialisation writes the head's links.
+  /// \p NumThreads sizes the hazard domain and the over-admission
+  /// slack; \p Capacity is the *live* distinct-key bound. Construct
+  /// outside counting scopes: initialisation writes the head's links.
   SkipListCore(std::uint32_t NumThreads, std::uint32_t Capacity)
       : Cap(Capacity), N(NumThreads),
-        PoolSize(1 + Capacity + 2 * NumThreads),
-        Pool(std::make_unique<Node[]>(PoolSize)), Spare(NumThreads, NilIdx) {
+        NodeBudget(1 + Capacity + 2 * NumThreads +
+                   2 * NumThreads * NumThreads * HazardSlots),
+        DirSlots((NodeBudget + SegmentNodes - 1) / SegmentNodes),
+        Domain(NumThreads, HazardSlots),
+        Dir(std::make_unique<std::atomic<Segment *>[]>(DirSlots)),
+        Spare(NumThreads, NilIdx) {
     assert(NumThreads >= 1 && "need at least one process");
-    Node &Head = Pool[0];
-    Head.Height = MaxLevel;
+    assert(Capacity < NilIdx && "capacity exceeds the 31-bit index space");
+    for (std::uint32_t S = 0; S < DirSlots; ++S)
+      Dir[S].store(nullptr, std::memory_order_relaxed);
+    installSegment(0);
+    Node &Head = node(0);
+    Head.Height.store(MaxLevel, std::memory_order_relaxed);
     for (std::uint32_t L = 0; L < MaxLevel; ++L)
-      Head.Next[L].write(NilIdx, std::memory_order_relaxed);
-    NextFree.write(1, std::memory_order_relaxed);
+      Head.Next[L].writeReclaim(NilIdx);
+    NextFresh = 1;
+    LiveCount.writeReclaim(0);
+  }
+
+  ~SkipListCore() {
+    for (std::uint32_t S = 0; S < DirSlots; ++S)
+      delete Dir[S].load(std::memory_order_relaxed);
   }
 
   /// Deterministic tower height of \p K: geometric with p=1/2 over a
@@ -124,102 +158,180 @@ public:
     return Level;
   }
 
-  /// Search result: the node holding K (or NilIdx) plus the per-level
-  /// insertion window.
+  /// Search result: the node holding K (or NilIdx; possibly Dead — the
+  /// caller inspects ValState) plus the per-level insertion window. All
+  /// named nodes stay hazard-pinned until the operation's HazardScope
+  /// closes.
   struct FindResult {
     std::uint32_t Found = NilIdx;
     std::uint32_t Preds[MaxLevel] = {};
     std::uint32_t Succs[MaxLevel] = {};
   };
 
-  /// Wait-free search. One link read per level plus one per horizontal
-  /// step; terminates because keys strictly increase along every path.
-  FindResult find(Key K) const {
+  /// Lock-free search with the hazard handshake per step (publish the
+  /// candidate, re-validate the link that led to it on the uncounted
+  /// channel). Counted cost is one link read per level plus one per
+  /// horizontal advance — identical to the pre-reclamation walk when
+  /// solo. Meets marked nodes only under contention: helps snip them
+  /// (uncounted) and restarts on interference.
+  FindResult find(std::uint32_t Tid, Key K) const {
+  Restart:
     FindResult F;
-    std::uint32_t Pred = 0; // head sentinel
+    std::uint32_t Pred = 0; // head sentinel, never retired
     for (std::int32_t L = MaxLevel - 1; L >= 0; --L) {
-      std::uint32_t Cur =
-          Pool[Pred].Next[L].read(std::memory_order_acquire);
-      while (Cur != NilIdx && Pool[Cur].Key < K) {
-        Pred = Cur;
-        Cur = Pool[Pred].Next[L].read(std::memory_order_acquire);
+      const std::uint32_t UL = static_cast<std::uint32_t>(L);
+      std::uint32_t W = node(Pred).Next[UL].read(std::memory_order_acquire);
+      if ((W & MarkBit) != 0) {
+        // The node carried down from the level above is dead here (it
+        // was erased, or this lane's insert CAS lost and the lane was
+        // marked dead). The head's lanes are never marked: re-walk this
+        // level from the head.
+        Pred = 0;
+        W = node(Pred).Next[UL].read(std::memory_order_acquire);
       }
-      F.Preds[static_cast<std::uint32_t>(L)] = Pred;
-      F.Succs[static_cast<std::uint32_t>(L)] = Cur;
+      while (true) {
+        const std::uint32_t Cur = W & ~MarkBit;
+        if (Cur == NilIdx)
+          break;
+        Domain.protect(Tid, 2 * UL + 1, &node(Cur));
+        if (node(Pred).Next[UL].readReclaim() != W) {
+          // The link changed under us; re-observe it (counted — this is
+          // a fresh algorithmic read, reachable only under contention).
+          W = node(Pred).Next[UL].read(std::memory_order_acquire);
+          if ((W & MarkBit) != 0)
+            goto Restart; // pred died mid-walk
+          continue;
+        }
+        // Cur is pinned and was reachable from Pred at validation.
+        const Key CK = node(Cur).Key.load(std::memory_order_relaxed);
+        if (CK >= K)
+          break;
+        const std::uint32_t NW =
+            node(Cur).Next[UL].read(std::memory_order_acquire);
+        if ((NW & MarkBit) != 0) {
+          // Cur is logically deleted: help snip it (reclamation
+          // channel; fails — and we restart — if Pred itself died).
+          if (!node(Pred).Next[UL].compareAndSwapReclaim(W, NW & ~MarkBit))
+            goto Restart;
+          W = NW & ~MarkBit;
+          continue;
+        }
+        Domain.protect(Tid, 2 * UL, &node(Cur)); // keep pinned as pred
+        Pred = Cur;
+        W = NW;
+      }
+      F.Preds[UL] = Pred;
+      F.Succs[UL] = W & ~MarkBit;
     }
-    if (F.Succs[0] != NilIdx && Pool[F.Succs[0]].Key == K)
+    if (F.Succs[0] != NilIdx &&
+        node(F.Succs[0]).Key.load(std::memory_order_relaxed) == K)
       F.Found = F.Succs[0];
     return F;
   }
 
   /// Lock-free read: the value mapped to K, or Empty. Never aborts (the
   /// linearization point is the ValState read, or the level-0 window
-  /// read that proves absence — the level-0 list is complete, so a
-  /// missing node there is a missing key).
-  PopResult<Value> get(Key K) const {
-    const FindResult F = find(K);
+  /// read that proves absence).
+  PopResult<Value> get(std::uint32_t Tid, Key K) const {
+    assert(Tid < N && "thread id out of range");
+    HazardScope Scope(Domain, Tid);
+    const FindResult F = find(Tid, K);
     if (F.Found == NilIdx)
       return PopResult<Value>::empty();
     const TopFields<Value> Fields = ValCodec::unpack(
-        Pool[F.Found].ValState.read(std::memory_order_acquire));
+        node(F.Found).ValState.read(std::memory_order_acquire));
     if (Fields.Index != Live)
       return PopResult<Value>::empty();
     return PopResult<Value>::value(Fields.Value);
   }
 
   /// weak insert-or-update: Done (took effect at one CAS), Full (the
-  /// distinct-keys-ever envelope is exhausted and K is not in it), or
-  /// Abort (interference; no effect).
+  /// live-key capacity is exhausted and K is not live), or Abort
+  /// (interference or uncertainty; no effect).
   PushResult weakInsert(std::uint32_t Tid, Key K, Value V) {
     assert(Tid < N && "thread id out of range");
-    const FindResult F = find(K);
-    if (F.Found != NilIdx)
-      return tryUpdate(F.Found, V);
-    // Full must be decided against the monotone linked-keys counter
-    // *before* a search that re-proves absence: counter >= Cap persists,
-    // so at the second search's window read both "k absent" and
-    // "capacity reached" hold simultaneously.
-    if (KeysLinked.read(std::memory_order_acquire) >= Cap) {
-      const FindResult F2 = find(K);
-      if (F2.Found != NilIdx)
-        return tryUpdate(F2.Found, V);
-      return PushResult::Full;
+    HazardScope Scope(Domain, Tid);
+    FindResult F = find(Tid, K);
+    if (F.Found != NilIdx) {
+      switch (tryUpdate(F.Found, V)) {
+      case UpdateOutcome::Done:
+        return PushResult::Done;
+      case UpdateOutcome::Interfered:
+        return PushResult::Abort;
+      case UpdateOutcome::WasDead:
+        break; // fresh path shadows the dying node
+      }
+    }
+    // Admission: a fresh key (including a shadow of a dead one) needs a
+    // live slot. The counter word is versioned, so equality of two
+    // reads proves it never moved in between.
+    const std::uint64_t CountW = LiveCount.read(std::memory_order_acquire);
+    if (countOf(CountW) >= Cap) {
+      F = find(Tid, K);
+      if (F.Found != NilIdx) {
+        switch (tryUpdate(F.Found, V)) {
+        case UpdateOutcome::Done:
+          return PushResult::Done;
+        case UpdateOutcome::Interfered:
+          return PushResult::Abort;
+        case UpdateOutcome::WasDead:
+          break;
+        }
+      }
+      // K is logically absent at the search just performed; Full is
+      // sound only if the counter held >= Cap across it. Otherwise the
+      // two facts were not simultaneous: abort, per the paper's
+      // abort-when-uncertain discipline.
+      return LiveCount.read(std::memory_order_acquire) == CountW
+                 ? PushResult::Full
+                 : PushResult::Abort;
     }
     const std::uint32_t Height = heightOf(K);
     std::uint32_t Idx = Spare[Tid];
-    if (Idx == NilIdx) {
-      Idx = NextFree.fetchAdd(1);
-      assert(Idx < PoolSize && "node pool exhausted");
-    }
-    Node &Fresh = Pool[Idx];
-    Fresh.Key = K;
-    Fresh.Height = Height;
-    Fresh.ValState.write(ValCodec::pack({Live, V, 0}),
-                         std::memory_order_relaxed);
+    if (Idx == NilIdx)
+      Idx = acquireNode(Tid);
+    Node &Fresh = node(Idx);
+    // Initialisation of unreachable storage: reclamation channel. The
+    // ValState sequence tag continues from the node's previous
+    // incarnation, preserving the 2^30 ABA envelope across recycling.
+    Fresh.Key.store(K, std::memory_order_relaxed);
+    Fresh.Height.store(Height, std::memory_order_relaxed);
+    const TopFields<Value> OldVal =
+        ValCodec::unpack(Fresh.ValState.readReclaim());
+    Fresh.ValState.writeReclaim(
+        ValCodec::pack({Live, V, ValCodec::seqAdd(OldVal.Seq, 1)}));
     for (std::uint32_t L = 0; L < Height; ++L)
-      Fresh.Next[L].write(F.Succs[L], std::memory_order_relaxed);
+      Fresh.Next[L].writeReclaim(F.Succs[L]);
     // The linearization point: publish at level 0. Success proves the
-    // window [pred, succ) was still intact, so no node with key K
+    // window [pred, succ) was still intact, so no live node with key K
     // existed anywhere in the (complete) level-0 list at this instant.
-    if (!Pool[F.Preds[0]].Next[0].compareAndSwap(F.Succs[0], Idx)) {
+    if (!node(F.Preds[0]).Next[0].compareAndSwap(F.Succs[0], Idx)) {
       Spare[Tid] = Idx; // keep the speculative node for the next attempt
       return PushResult::Abort;
     }
     Spare[Tid] = NilIdx;
-    KeysLinked.fetchAdd(1);
-    // Express lanes: one attempt per level. A lost race leaves the node
-    // reachable only through lower levels — slower, never wrong.
+    bumpLive(+1);
+    // Express lanes: one attempt per level. A lost race marks the lane
+    // dead in the node's own word — the node stays reachable through
+    // lower levels, and descents through the dead lane fall back to the
+    // head instead of following a link that will never be maintained.
     for (std::uint32_t L = 1; L < Height; ++L)
-      (void)Pool[F.Preds[L]].Next[L].compareAndSwap(F.Succs[L], Idx);
+      if (!node(F.Preds[L]).Next[L].compareAndSwap(F.Succs[L], Idx))
+        Fresh.Next[L].writeReclaim(NilIdx | MarkBit);
     return PushResult::Done;
   }
 
-  /// weak erase: the old value (tombstoned at one CAS), Empty, or Abort.
-  PopResult<Value> weakErase(Key K) {
-    const FindResult F = find(K);
+  /// weak erase: the old value (removed at one CAS), Empty, or Abort.
+  /// The CAS winner performs physical removal and retires the node —
+  /// all on the uncounted reclamation channel, crash-atomic with the
+  /// CAS (fault injectors fire only at instrumented accesses).
+  PopResult<Value> weakErase(std::uint32_t Tid, Key K) {
+    assert(Tid < N && "thread id out of range");
+    HazardScope Scope(Domain, Tid);
+    const FindResult F = find(Tid, K);
     if (F.Found == NilIdx)
       return PopResult<Value>::empty();
-    Node &Target = Pool[F.Found];
+    Node &Target = node(F.Found);
     const std::uint64_t W = Target.ValState.read(std::memory_order_acquire);
     const TopFields<Value> Fields = ValCodec::unpack(W);
     if (Fields.Index != Live)
@@ -228,67 +340,280 @@ public:
         {Dead, Fields.Value, ValCodec::seqAdd(Fields.Seq, 1)});
     if (!Target.ValState.compareAndSwap(W, NewW))
       return PopResult<Value>::abort();
+    // This thread won the Live -> Dead transition: it is the unique
+    // remover and retirer of this node.
+    bumpLive(-1);
+    markLanes(Target);
+    sweepOut(Tid, K, F.Found);
+    Domain.retire(Tid, &Target, &SkipListCore::recycleNode, this);
     return PopResult<Value>::value(Fields.Value);
   }
 
   std::uint32_t capacity() const { return Cap; }
   std::uint32_t numThreads() const { return N; }
 
-  /// Distinct keys ever linked (uninstrumented test oracle).
-  std::uint32_t keysEverForTesting() const {
-    return KeysLinked.peekForTesting();
-  }
+  HazardDomain &domain() { return Domain; }
+  const HazardDomain &domain() const { return Domain; }
 
-  /// Live (non-tombstoned) entries, by an uninstrumented level-0 walk.
+  /// Live entries, by an uninstrumented level-0 walk. Quiescent only.
   std::uint32_t liveCountForTesting() const {
     std::uint32_t Count = 0;
-    for (std::uint32_t Cur = Pool[0].Next[0].peekForTesting();
-         Cur != NilIdx; Cur = Pool[Cur].Next[0].peekForTesting())
-      if (ValCodec::unpack(Pool[Cur].ValState.peekForTesting()).Index ==
+    for (std::uint32_t Cur =
+             node(0).Next[0].peekForTesting() & ~MarkBit;
+         Cur != NilIdx;
+         Cur = node(Cur).Next[0].peekForTesting() & ~MarkBit)
+      if (ValCodec::unpack(node(Cur).ValState.peekForTesting()).Index ==
           Live)
         ++Count;
     return Count;
   }
 
-  /// Heap owned by the list: the node pool plus the spare-slot table.
+  /// The admission counter's current count field (test oracle).
+  std::uint32_t liveCounterForTesting() const {
+    return countOf(LiveCount.peekForTesting());
+  }
+
+  /// Nodes ever drawn from the pool (head included). Quiescent only.
+  std::uint32_t allocatedNodesForTesting() const {
+    SpinGuard G(PoolLock);
+    return NextFresh;
+  }
+
+  /// Nodes currently on the free list. Quiescent only.
+  std::uint32_t freeNodesForTesting() const {
+    SpinGuard G(PoolLock);
+    return static_cast<std::uint32_t>(FreeList.size());
+  }
+
+  /// Heap owned by the list: segment directory, allocated segments,
+  /// free list, spare table, and the hazard domain's bookkeeping.
   std::size_t heapBytes() const {
-    return static_cast<std::size_t>(PoolSize) * sizeof(Node) +
-           Spare.capacity() * sizeof(std::uint32_t);
+    std::size_t Bytes = DirSlots * sizeof(std::atomic<Segment *>) +
+                        Spare.capacity() * sizeof(std::uint32_t) +
+                        Domain.heapBytes();
+    for (std::uint32_t S = 0; S < DirSlots; ++S)
+      if (Dir[S].load(std::memory_order_acquire))
+        Bytes += sizeof(Segment);
+    {
+      SpinGuard G(PoolLock);
+      Bytes += FreeList.capacity() * sizeof(std::uint32_t);
+    }
+    return Bytes;
   }
 
 private:
-  /// Per-key state: immutable identity (Key/Height, published by the
-  /// release link CAS, read only after an acquire link read) plus the
-  /// tagged value/liveness word and the link tower. Key and Height are
-  /// deliberately not atomic registers: they never change after
-  /// publication, so the access oracle counts only the mutable words.
+  /// Per-key state. Key/Height are plain relaxed atomics, not counted
+  /// registers: they are immutable between a node's publication and its
+  /// retirement, and a traversal only reads them while the node is
+  /// hazard-pinned. SelfIdx is set once at segment creation.
   struct Node {
-    std::uint32_t Key = 0;
-    std::uint32_t Height = 0;
+    std::atomic<std::uint32_t> Key{0};
+    std::atomic<std::uint32_t> Height{0};
+    std::uint32_t SelfIdx = 0;
     AtomicRegister<std::uint64_t, Policy> ValState;
     AtomicRegister<std::uint32_t, Policy> Next[MaxLevel];
   };
 
-  /// Update or revive an existing node at one tagged CAS.
-  PushResult tryUpdate(std::uint32_t NodeIdx, Value V) {
-    Node &Target = Pool[NodeIdx];
+  struct Segment {
+    Node Nodes[SegmentNodes];
+  };
+
+  struct SpinGuard {
+    explicit SpinGuard(std::atomic_flag &F) : F(F) {
+      while (F.test_and_set(std::memory_order_acquire))
+        ;
+    }
+    ~SpinGuard() { F.clear(std::memory_order_release); }
+    std::atomic_flag &F;
+  };
+
+  /// Clears every hazard slot of the thread on scope exit — including
+  /// the unwind of an injected crash, so a dead operation never strands
+  /// its pins past its own resurrection scope.
+  class HazardScope {
+  public:
+    HazardScope(HazardDomain &D, std::uint32_t Tid) : D(D), Tid(Tid) {}
+    HazardScope(const HazardScope &) = delete;
+    HazardScope &operator=(const HazardScope &) = delete;
+    ~HazardScope() { D.clearAll(Tid); }
+
+  private:
+    HazardDomain &D;
+    std::uint32_t Tid;
+  };
+
+  enum class UpdateOutcome { Done, Interfered, WasDead };
+
+  Node &node(std::uint32_t Idx) const {
+    Segment *S = Dir[Idx / SegmentNodes].load(std::memory_order_acquire);
+    return S->Nodes[Idx % SegmentNodes];
+  }
+
+  static std::uint32_t countOf(std::uint64_t CountWord) {
+    return static_cast<std::uint32_t>(CountWord & 0xFFFFFFFFull);
+  }
+
+  /// Update an existing node at one tagged CAS — but only a Live one:
+  /// revival of a Dead node is abolished (the fresh path shadows it).
+  UpdateOutcome tryUpdate(std::uint32_t NodeIdx, Value V) {
+    Node &Target = node(NodeIdx);
     const std::uint64_t W = Target.ValState.read(std::memory_order_acquire);
     const TopFields<Value> Fields = ValCodec::unpack(W);
+    if (Fields.Index != Live)
+      return UpdateOutcome::WasDead;
     const std::uint64_t NewW =
         ValCodec::pack({Live, V, ValCodec::seqAdd(Fields.Seq, 1)});
-    return Target.ValState.compareAndSwap(W, NewW) ? PushResult::Done
-                                                   : PushResult::Abort;
+    return Target.ValState.compareAndSwap(W, NewW)
+               ? UpdateOutcome::Done
+               : UpdateOutcome::Interfered;
+  }
+
+  /// Adjusts the versioned live counter (reclamation channel: capacity
+  /// bookkeeping after the operation already linearized).
+  void bumpLive(std::int32_t Delta) {
+    while (true) {
+      const std::uint64_t W = LiveCount.readReclaim();
+      const std::uint64_t Version = (W >> 32) + 1;
+      const std::uint64_t Count =
+          static_cast<std::uint32_t>(countOf(W) +
+                                     static_cast<std::uint32_t>(Delta));
+      if (LiveCount.compareAndSwapReclaim(W, (Version << 32) | Count))
+        return;
+    }
+  }
+
+  /// Marks every lane word of \p X top-down (Harris: a marked word both
+  /// flags the node dead and makes any mutation CAS on it fail).
+  void markLanes(Node &X) {
+    const std::uint32_t H = X.Height.load(std::memory_order_relaxed);
+    for (std::int32_t L = static_cast<std::int32_t>(H) - 1; L >= 0; --L) {
+      const std::uint32_t UL = static_cast<std::uint32_t>(L);
+      while (true) {
+        const std::uint32_t W = X.Next[UL].readReclaim();
+        if ((W & MarkBit) != 0)
+          break;
+        if (X.Next[UL].compareAndSwapReclaim(W, W | MarkBit))
+          break;
+      }
+    }
+  }
+
+  /// Removes \p XIdx from every lane: sweeps each level (snipping any
+  /// marked node met, helping other removers) until a full pass never
+  /// encounters it. A pass that completes without meeting X proves no
+  /// lane still links to it — the retire precondition.
+  void sweepOut(std::uint32_t Tid, Key K, std::uint32_t XIdx) {
+    const std::uint32_t H =
+        node(XIdx).Height.load(std::memory_order_relaxed);
+    bool Encountered = true;
+    while (Encountered) {
+      Encountered = false;
+      for (std::int32_t L = static_cast<std::int32_t>(H) - 1; L >= 0; --L)
+        Encountered |=
+            sweepLevel(Tid, K, XIdx, static_cast<std::uint32_t>(L));
+    }
+  }
+
+  /// One uncounted pass over level \p L. Returns whether X was seen.
+  bool sweepLevel(std::uint32_t Tid, Key K, std::uint32_t XIdx,
+                  std::uint32_t L) {
+  Restart:
+    bool Saw = false;
+    std::uint32_t Pred = 0;
+    std::uint32_t W = node(Pred).Next[L].readReclaim();
+    while (true) {
+      if ((W & MarkBit) != 0)
+        goto Restart; // pred died under us
+      const std::uint32_t Cur = W & ~MarkBit;
+      if (Cur == NilIdx)
+        return Saw;
+      Domain.protect(Tid, 1, &node(Cur));
+      if (node(Pred).Next[L].readReclaim() != W)
+        goto Restart;
+      const Key CK = node(Cur).Key.load(std::memory_order_relaxed);
+      const std::uint32_t NW = node(Cur).Next[L].readReclaim();
+      if ((NW & MarkBit) != 0) {
+        if (Cur == XIdx)
+          Saw = true;
+        if (!node(Pred).Next[L].compareAndSwapReclaim(W, NW & ~MarkBit))
+          goto Restart;
+        W = NW & ~MarkBit;
+        continue;
+      }
+      if (CK < K || (CK == K && Cur != XIdx)) {
+        Domain.protect(Tid, 0, &node(Cur));
+        Pred = Cur;
+        W = NW;
+        continue;
+      }
+      // CK > K: X (which sorts at K and is marked) cannot be ahead.
+      return Saw;
+    }
+  }
+
+  /// HazardDomain recycler: the storage returns to the free list.
+  static void recycleNode(void *Obj, void *Ctx) {
+    auto *Self = static_cast<SkipListCore *>(Ctx);
+    SpinGuard G(Self->PoolLock);
+    Self->FreeList.push_back(static_cast<Node *>(Obj)->SelfIdx);
+  }
+
+  /// Draws a node index: free list first, then a scan of this thread's
+  /// own retire backlog, then fresh growth. Entirely uncounted.
+  std::uint32_t acquireNode(std::uint32_t Tid) {
+    {
+      SpinGuard G(PoolLock);
+      if (!FreeList.empty()) {
+        const std::uint32_t Idx = FreeList.back();
+        FreeList.pop_back();
+        return Idx;
+      }
+    }
+    // Drain what this thread retired; recycleNode feeds the free list.
+    (void)Domain.scan(Tid);
+    SpinGuard G(PoolLock);
+    if (!FreeList.empty()) {
+      const std::uint32_t Idx = FreeList.back();
+      FreeList.pop_back();
+      return Idx;
+    }
+    const std::uint32_t Idx = NextFresh++;
+    assert(Idx < NodeBudget &&
+           "node budget exhausted: live + spares + retire backlog "
+           "exceeded its proven bound");
+    if (!Dir[Idx / SegmentNodes].load(std::memory_order_acquire))
+      installSegment(Idx / SegmentNodes);
+    return Idx;
+  }
+
+  /// Allocates and publishes segment \p Slot (caller holds PoolLock or
+  /// is the constructor).
+  void installSegment(std::uint32_t Slot) {
+    Segment *S = new Segment;
+    for (std::uint32_t I = 0; I < SegmentNodes; ++I)
+      S->Nodes[I].SelfIdx = Slot * SegmentNodes + I;
+    Dir[Slot].store(S, std::memory_order_release);
   }
 
   const std::uint32_t Cap;
   const std::uint32_t N;
-  const std::uint32_t PoolSize;
-  std::unique_ptr<Node[]> Pool;
-  AtomicRegister<std::uint32_t, Policy> NextFree;
-  AtomicRegister<std::uint32_t, Policy> KeysLinked;
+  const std::uint32_t NodeBudget;
+  const std::uint32_t DirSlots;
+  /// Mutable: reads publish and clear hazards, and traversal helping
+  /// snips dead nodes — all memory-system bookkeeping, not logical
+  /// state of the map.
+  mutable HazardDomain Domain;
+  std::unique_ptr<std::atomic<Segment *>[]> Dir;
+  /// Versioned live-key counter: <version:32 | count:32>. Reads are
+  /// counted (they gate Full); updates are post-linearization
+  /// bookkeeping on the reclamation channel.
+  AtomicRegister<std::uint64_t, Policy> LiveCount;
   /// Per-thread speculative node kept across failed link attempts (only
   /// ever touched by its own thread).
   std::vector<std::uint32_t> Spare;
+  mutable std::atomic_flag PoolLock = ATOMIC_FLAG_INIT;
+  std::vector<std::uint32_t> FreeList; // guarded by PoolLock
+  std::uint32_t NextFresh = 0;         // guarded by PoolLock
 };
 
 } // namespace csobj

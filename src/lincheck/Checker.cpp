@@ -199,15 +199,14 @@ bool OrderedMapSpec::apply(const Operation &Op) {
   switch (Op.Code) {
   case OpCode::Insert:
     if (Op.Result == ResCode::Done) {
-      // Update/revive is always legal; a fresh key needs envelope room.
-      if (Ever.count(K) == 0 && Ever.size() >= Capacity)
+      // Update is always legal; an absent key needs a live slot.
+      if (Live.count(K) == 0 && Live.size() >= Capacity)
         return false;
       Live[K] = Op.RetValue;
-      Ever.insert(K);
       return true;
     }
-    return Op.Result == ResCode::Full && Ever.count(K) == 0 &&
-           Ever.size() >= Capacity;
+    return Op.Result == ResCode::Full && Live.count(K) == 0 &&
+           Live.size() >= Capacity;
   case OpCode::Get: {
     const auto It = Live.find(K);
     if (Op.Result == ResCode::Value)
@@ -231,15 +230,11 @@ bool OrderedMapSpec::apply(const Operation &Op) {
 
 std::string OrderedMapSpec::key() const {
   std::string Key;
-  Key.reserve((Live.size() * 2 + Ever.size() + 1) * 4);
+  Key.reserve(Live.size() * 2 * 4);
   for (const auto &[K, V] : Live) {
     Key.append(reinterpret_cast<const char *>(&K), sizeof(K));
     Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
   }
-  const std::uint32_t Sep = 0xFFFFFFFFu;
-  Key.append(reinterpret_cast<const char *>(&Sep), sizeof(Sep));
-  for (std::uint32_t K : Ever)
-    Key.append(reinterpret_cast<const char *>(&K), sizeof(K));
   return Key;
 }
 

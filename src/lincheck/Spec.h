@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -118,12 +117,11 @@ private:
   std::deque<std::uint32_t> Contents;
 };
 
-/// Sequential bounded ordered map with a distinct-keys-ever capacity
-/// envelope (tombstone semantics: erase frees the mapping but not the
-/// key's slot, matching core/SkipListCore.h). Insert of a key already in
-/// the ever-set is always Done (update/revive); insert of a fresh key is
-/// Done below the envelope and Full at it. Get/Erase answer the live
-/// mapping or Empty.
+/// Sequential bounded ordered map whose capacity counts *live* keys
+/// (erase frees the key's slot — core/SkipListCore.h physically removes
+/// and recycles erased nodes). Insert of a live key is always Done
+/// (update); insert of an absent key is Done below capacity and Full at
+/// it. Get/Erase answer the live mapping or Empty.
 class OrderedMapSpec {
 public:
   explicit OrderedMapSpec(std::uint32_t Capacity) : Capacity(Capacity) {}
@@ -135,7 +133,6 @@ public:
 private:
   std::uint32_t Capacity;
   std::map<std::uint32_t, std::uint32_t> Live;
-  std::set<std::uint32_t> Ever;
 };
 
 } // namespace csobj

@@ -108,6 +108,41 @@ public:
   /// on an algorithm's counted path.
   T peekForTesting() const { return Cell.load(std::memory_order_seq_cst); }
 
+  /// Reclamation-channel read: uninstrumented, like the MetricSink
+  /// stores of PR 5. The hazard-pointer protocol (memory/HazardDomain.h)
+  /// must re-validate a link after publishing a hazard; that validation
+  /// is memory-system bookkeeping, not an access the paper's algorithms
+  /// perform, so it stays invisible to the AccessCounter oracle and the
+  /// interleaving explorer. Never call this on a counted algorithm path.
+  T readReclaim(std::memory_order Order = std::memory_order_seq_cst) const {
+    return Cell.load(Order);
+  }
+
+  /// Reclamation-channel Compare&Swap: uninstrumented link surgery for
+  /// physical removal (marking a retired node's links, snipping it out
+  /// of a chain). The logical operation already linearized at a counted
+  /// access; unlinking the storage afterwards is the memory system's
+  /// work, so it stays invisible to the oracles. Never call this on a
+  /// counted algorithm path.
+  bool compareAndSwapReclaim(T Expected, T Desired,
+                             std::memory_order Order =
+                                 std::memory_order_seq_cst) {
+    return Cell.compare_exchange_strong(Expected, Desired, Order,
+                                        failOrderFor(Order));
+  }
+
+  /// Reclamation-channel write: uninstrumented re-initialisation of a
+  /// recycled register (a freed chunk's slots, a retired node's links)
+  /// before it is republished. The register is unreachable while this
+  /// runs — reclamation guarantees no concurrent reader — so the write
+  /// is not a shared-memory access in the paper's counting convention
+  /// and must stay invisible to the oracles. Never call this on a
+  /// counted algorithm path.
+  void writeReclaim(T Value,
+                    std::memory_order Order = std::memory_order_seq_cst) {
+    Cell.store(Value, Order);
+  }
+
 private:
   /// The failure ordering a compare_exchange may legally carry when its
   /// success ordering is \p Order: a failed C&S performs no store, so the

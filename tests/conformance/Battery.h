@@ -60,6 +60,8 @@
 #include "core/Results.h"
 #include "core/SkipListCore.h"
 #include "core/TimestampBoost.h"
+#include "core/UnboundedQueue.h"
+#include "core/UnboundedStack.h"
 #include "core/WaitFreeUniversal.h"
 #include "faults/FaultInjector.h"
 #include "faults/FaultPlan.h"
@@ -290,6 +292,45 @@ template <typename Lock> struct LockedStackAdapter {
   static BoundedStackSpec makeSpec() { return BoundedStackSpec(SmallCapacity); }
 };
 
+// Unbounded (chunked, hazard-reclaimed) stack. The battery drives it
+// well below its envelope, so Full is unreachable — exactly the
+// "unbounded" contract — and the spec capacity is the envelope itself.
+struct UnboundedStackAdapter {
+  using Object = UnboundedStack<>;
+  static constexpr bool Strong = false;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t /*Capacity*/) {
+    return std::make_unique<Object>(Threads);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.weakPush(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.weakPop(Tid);
+  }
+  static BoundedStackSpec makeSpec() {
+    return BoundedStackSpec(Object::EnvelopeIndex);
+  }
+};
+
+struct UnboundedCsStackAdapter {
+  using Object = ContentionSensitiveUnboundedStack<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t /*Capacity*/) {
+    return std::make_unique<Object>(Threads);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.push(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.pop(Tid);
+  }
+  static BoundedStackSpec makeSpec() {
+    return BoundedStackSpec(UnboundedStack<>::EnvelopeIndex);
+  }
+};
+
 struct AbortableQueueAdapter {
   using Object = AbortableQueue<>;
   static constexpr bool Strong = false;
@@ -373,6 +414,45 @@ struct CtQueueAdapter {
     while (O.abortable().weakDequeue().isValue())
       ++Seen;
     return Seen;
+  }
+};
+
+// Unbounded (chunked-ring, hazard-reclaimed) queue. Like the unbounded
+// stack, the battery never approaches the envelope, so Full stays
+// unreachable and the spec capacity is the envelope.
+struct UnboundedQueueAdapter {
+  using Object = UnboundedQueue<>;
+  static constexpr bool Strong = false;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t /*Capacity*/) {
+    return std::make_unique<Object>(Threads);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.weakEnqueue(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.weakDequeue(Tid);
+  }
+  static BoundedQueueSpec makeSpec() {
+    return BoundedQueueSpec(Object::EnvelopeCapacity);
+  }
+};
+
+struct UnboundedCsQueueAdapter {
+  using Object = ContentionSensitiveUnboundedQueue<>;
+  static constexpr bool Strong = true;
+  static std::unique_ptr<Object> make(std::uint32_t Threads,
+                                      std::uint32_t /*Capacity*/) {
+    return std::make_unique<Object>(Threads);
+  }
+  static PushResult push(Object &O, std::uint32_t Tid, std::uint32_t V) {
+    return O.enqueue(Tid, V);
+  }
+  static PopResult<std::uint32_t> pop(Object &O, std::uint32_t Tid) {
+    return O.dequeue(Tid);
+  }
+  static BoundedQueueSpec makeSpec() {
+    return BoundedQueueSpec(UnboundedQueue<>::EnvelopeCapacity);
   }
 };
 
@@ -1484,7 +1564,7 @@ inline void counterAccessBoundCell() {
 // make(Threads, Capacity); get/insert/erase(Object&, Tid, Key[, Value]).
 // Concurrent cells run over MapStressKeys keys against MapCapacity so the
 // racy capacity edge stays unreachable (Params.h); the sequential replay
-// cell crosses the Full/tombstone/revive edges at SmallCapacity.
+// cell crosses the Full and erase-frees-capacity edges at SmallCapacity.
 
 struct CsMapAdapter {
   using Object = ContentionSensitiveMap<>;
@@ -1547,9 +1627,10 @@ inline void recordMapValueOp(HistoryRecorder &Rec, OpCode Code,
 }
 
 /// Solo replay crossing every sequential edge of the ordered-map spec:
-/// miss, fresh insert, update, erase, revive, the distinct-keys-ever
-/// Full boundary, update-at-capacity, and the tombstone-does-not-free
-/// rule — every answer validated against OrderedMapSpec.
+/// miss, fresh insert, update, erase, reinsert-after-erase, the
+/// live-key Full boundary, update-at-capacity, and the erase-frees-
+/// exactly-one-slot rule — every answer validated against
+/// OrderedMapSpec.
 template <typename A> void mapSpecReplayCell() {
   auto Obj = A::make(1, SmallCapacity);
   OrderedMapSpec Spec(SmallCapacity);
@@ -1592,19 +1673,19 @@ template <typename A> void mapSpecReplayCell() {
   Insert(2, 22, PushResult::Done);
   Insert(1, 12, PushResult::Done);         // update
   ValueOp(OpCode::Get, 1, 12);
-  ValueOp(OpCode::Erase, 1, 12);           // tombstone
+  ValueOp(OpCode::Erase, 1, 12);           // physical removal
   ValueOp(OpCode::Get, 1, std::nullopt);
-  Insert(1, 13, PushResult::Done);         // revive
+  Insert(1, 13, PushResult::Done);         // reinsert after erase
   ValueOp(OpCode::Get, 1, 13);
   Insert(3, 33, PushResult::Done);
-  Insert(4, 44, PushResult::Done);         // Ever = {1,2,3,4} == capacity
-  Insert(5, 55, PushResult::Full);         // fresh key at the envelope
+  Insert(4, 44, PushResult::Done);         // Live = {1,2,3,4} == capacity
+  Insert(5, 55, PushResult::Full);         // fresh key at the boundary
   Insert(2, 23, PushResult::Done);         // update at capacity
-  ValueOp(OpCode::Erase, 2, 23);
-  Insert(5, 55, PushResult::Full);         // tombstones do not free slots
-  Insert(2, 24, PushResult::Done);         // revive at capacity
-  ValueOp(OpCode::Get, 2, 24);
-  ValueOp(OpCode::Get, 5, std::nullopt);
+  ValueOp(OpCode::Erase, 2, 23);           // frees exactly one slot
+  Insert(5, 55, PushResult::Done);         // erase freed capacity
+  Insert(2, 24, PushResult::Full);         // full again; 2 is gone now
+  ValueOp(OpCode::Get, 2, std::nullopt);
+  ValueOp(OpCode::Get, 5, 55);
   if constexpr (requires { Obj->sizeForTesting(); })
     EXPECT_EQ(Obj->sizeForTesting(), 4u);
   assertPathConservation(*Obj, 0, 19);
@@ -1756,11 +1837,12 @@ template <typename A> void mapExploreCell() {
 /// search reads MaxLevel links top-down (one per level on a tiny map),
 /// so with a height-1 key
 ///   get            = 8 search + 1 ValState read               =  9
-///   insert (fresh) = 1 CONTENTION + 8 search + 1 keys-linked
-///                    + 1 alloc F&A + 1 ValState write + 1 link
-///                    write + 1 link C&S + 1 keys-linked F&A    = 15
+///   insert (fresh) = 1 CONTENTION + 8 search + 1 admission
+///                    read + 1 link C&S (allocation and init of
+///                    unreachable storage are uncounted)         = 11
 ///   insert (update)= 1 CONTENTION + 8 search + 1 read + 1 C&S = 11
 ///   erase          = 1 CONTENTION + 8 search + 1 read + 1 C&S = 11
+///                    (physical removal is uncounted reclamation)
 /// — the map's constant-solo-cost analogue of the stack's 6.
 struct MapAccessBounds {
   std::uint64_t Get = 0;
@@ -2114,6 +2196,13 @@ inline const std::vector<BatteryEntry> &batteryRegistry() {
         "ct-stack", {"CrashTolerantStack.h", "CrashTolerant.h"},
         /*Exhaustive=*/false, AccessBounds{6, 6, true},
         [] { crashTolerantSweepCell<CtStackAdapter>(); }));
+    R.push_back(pushPopEntry<UnboundedStackAdapter>(
+        "unbounded-stack", {"UnboundedStack.h"}, /*Exhaustive=*/false,
+        AccessBounds{5, 5, true},
+        [] { crashSweepCell<UnboundedStackAdapter>(); }));
+    R.push_back(pushPopEntry<UnboundedCsStackAdapter>(
+        "unbounded-cs-stack", {}, /*Exhaustive=*/false,
+        AccessBounds{6, 6, true}));
     R.push_back(pushPopEntry<BoxedStackAdapter>(
         "boxed-stack", {"BoxedStack.h"}, /*Exhaustive=*/false,
         AccessBounds{32, 32, false}));
@@ -2145,6 +2234,13 @@ inline const std::vector<BatteryEntry> &batteryRegistry() {
         "ct-queue", {"CrashTolerantQueue.h"}, /*Exhaustive=*/false,
         AccessBounds{7, 7, true},
         [] { crashTolerantSweepCell<CtQueueAdapter>(); }));
+    R.push_back(pushPopEntry<UnboundedQueueAdapter>(
+        "unbounded-queue", {"UnboundedQueue.h"}, /*Exhaustive=*/false,
+        AccessBounds{6, 6, true},
+        [] { crashSweepCell<UnboundedQueueAdapter>(); }));
+    R.push_back(pushPopEntry<UnboundedCsQueueAdapter>(
+        "unbounded-cs-queue", {}, /*Exhaustive=*/false,
+        AccessBounds{7, 7, true}));
     R.push_back(pushPopEntry<LockedQueueAdapter<TtasLock>>(
         "locked-queue", {}, /*Exhaustive=*/false, AccessBounds{16, 16, false}));
     R.push_back(pushPopEntry<LockedQueueAdapter<StarvationFreeLock<Leasable>>>(
@@ -2193,7 +2289,7 @@ inline const std::vector<BatteryEntry> &batteryRegistry() {
     // lock (mapCrashSweep's banner states the boundary).
     R.push_back(mapEntry<CsMapAdapter>(
         "cs-map", {"ContentionSensitiveMap.h", "SkipListCore.h"},
-        MapAccessBounds{9, 15, 11, 11, /*Exact=*/true},
+        MapAccessBounds{9, 11, 11, 11, /*Exact=*/true},
         [] { mapCrashSweep(); }));
     R.push_back(mapEntry<LockedMapAdapter>(
         "locked-map", {}, MapAccessBounds{16, 16, 16, 16, /*Exact=*/false}));

@@ -85,9 +85,9 @@ bool parked(const std::vector<std::uint32_t> &Parked, std::uint32_t Tid) {
 }
 
 /// Solo access count of a fresh insert of a height-1 key on an empty
-/// map. The final two accesses are the level-0 link C&S and the
-/// linked-keys fetch-add, so (count - 2) grants parks a writer exactly
-/// at its link C&S.
+/// map. The final access is the level-0 link C&S (the live-counter bump
+/// after it is reclamation-channel bookkeeping), so (count - 1) grants
+/// parks a writer exactly at its link C&S.
 std::size_t freshInsertAccesses(std::uint32_t K) {
   Map Probe(2, Cap, 1);
   return accessesOf([&] { (void)Probe.insert(0, K, 1); });
@@ -107,7 +107,7 @@ TEST(MapDirectedTest, ShortcutAbortFallsThroughToRegionLockExactlyOnce) {
   const std::uint32_t KB = heightOneKey(KA + 1);
   const std::size_t Fresh = freshInsertAccesses(KB);
   ASSERT_GE(Fresh, 4u);
-  const std::size_t BPark = Fresh - 2; // B parked at its link C&S
+  const std::size_t BPark = Fresh - 1; // B parked at its link C&S
 
   Map M(2, Cap, /*RegionCount=*/1);
   std::optional<PushResult> ARes, BRes;
@@ -348,7 +348,7 @@ TEST(MapDirectedTest, CrashedLockHolderStallsOnlyItsRegionsWriters) {
   const std::uint32_t KAr = heightOneKeyInRegion(0, 0, 2);
   const std::uint32_t KBr = heightOneKeyInRegion(KAr + 1, 0, 2);
   const std::size_t Fresh = freshInsertAccesses(KBr);
-  const std::size_t BPark = Fresh - 2;
+  const std::size_t BPark = Fresh - 1;
 
   Map M(3, Cap, /*RegionCount=*/2);
 
@@ -404,19 +404,74 @@ TEST(MapAccessCountTest, SoloCountsAreExactUnderInstrumented) {
   // one link read per level (MaxLevel = 8) on a near-empty map.
   EXPECT_EQ(countAccesses([&] { (void)M.get(0, K); }).total(), 8u)
       << "get miss: 8 search reads, no ValState";
-  EXPECT_EQ(countAccesses([&] { (void)M.insert(0, K, 7); }).total(), 15u)
-      << "fresh insert: 1 CONTENTION + 8 search + 1 envelope read + "
-         "1 alloc + 2 node-init writes + 1 link C&S + 1 counter F&A";
+  EXPECT_EQ(countAccesses([&] { (void)M.insert(0, K, 7); }).total(), 11u)
+      << "fresh insert: 1 CONTENTION + 8 search + 1 admission read + "
+         "1 link C&S (allocation and node init are uncounted: they touch "
+         "only unreachable storage)";
   EXPECT_EQ(countAccesses([&] { (void)M.get(0, K); }).total(), 9u)
       << "get hit: 8 search reads + 1 ValState read";
   EXPECT_EQ(countAccesses([&] { (void)M.insert(0, K, 8); }).total(), 11u)
       << "update: 1 CONTENTION + 8 search + 1 read + 1 C&S";
   EXPECT_EQ(countAccesses([&] { (void)M.erase(0, K); }).total(), 11u)
-      << "erase hit: 1 CONTENTION + 8 search + 1 read + 1 C&S";
-  EXPECT_EQ(countAccesses([&] { (void)M.erase(0, K); }).total(), 10u)
-      << "erase of a tombstone: 1 CONTENTION + 8 search + 1 dead read";
-  EXPECT_EQ(countAccesses([&] { (void)M.get(0, K); }).total(), 9u)
-      << "get of a tombstone: 8 search reads + 1 dead read";
+      << "erase hit: 1 CONTENTION + 8 search + 1 read + 1 C&S (physical "
+         "removal and retire ride the uncounted reclamation channel)";
+  EXPECT_EQ(countAccesses([&] { (void)M.erase(0, K); }).total(), 9u)
+      << "erase of an erased key: 1 CONTENTION + 8 search reads — the "
+         "node is physically gone, there is no tombstone to read";
+  EXPECT_EQ(countAccesses([&] { (void)M.get(0, K); }).total(), 8u)
+      << "get of an erased key: a plain 8-read miss";
+}
+
+TEST(MapCapacityTest, EraseFreesCapacityAcrossManyDistinctKeys) {
+  // The tombstone design counted keys-ever: this loop used to hit Full
+  // after Capacity distinct keys no matter how many were erased. With
+  // physical reclamation, insert->erase over many times Capacity
+  // distinct keys must always succeed, and storage must stay bounded by
+  // live keys + spares + retire backlog — not by keys-ever.
+  constexpr std::uint32_t SmallCap = 8;
+  Map M(2, SmallCap, 2);
+  for (std::uint32_t K = 0; K < 32 * SmallCap; ++K) {
+    ASSERT_EQ(M.insert(0, K, K + 1), PushResult::Done) << "key " << K;
+    const PopResult<std::uint32_t> G = M.get(1, K);
+    ASSERT_TRUE(G.isValue());
+    EXPECT_EQ(G.value(), K + 1);
+    const PopResult<std::uint32_t> E = M.erase(0, K);
+    ASSERT_TRUE(E.isValue());
+    EXPECT_EQ(E.value(), K + 1);
+  }
+  EXPECT_EQ(M.core().liveCountForTesting(), 0u);
+  EXPECT_EQ(M.core().liveCounterForTesting(), 0u);
+  // 256 distinct keys churned through a pool that never grew past a
+  // handful of nodes (head + the recycled one + scan-timing slack).
+  EXPECT_LE(M.core().allocatedNodesForTesting(), 1u + SmallCap + 4u)
+      << "reclamation failed: the pool grew with keys-ever";
+}
+
+TEST(MapCapacityTest, LiveCountCapacityBoundary) {
+  // Full is a statement about *live* keys. At the boundary: filling
+  // Capacity distinct keys makes the next fresh key Full, updating an
+  // existing key still works, and erasing any one key frees exactly one
+  // admission.
+  constexpr std::uint32_t SmallCap = 8;
+  Map M(2, SmallCap, 2);
+  for (std::uint32_t K = 0; K < SmallCap; ++K)
+    ASSERT_EQ(M.insert(0, K, K), PushResult::Done);
+  EXPECT_EQ(M.insert(0, 100, 1), PushResult::Full);
+  EXPECT_EQ(M.insert(1, 200, 2), PushResult::Full);
+  EXPECT_EQ(M.insert(0, 3, 33), PushResult::Done)
+      << "updates of live keys need no admission";
+  ASSERT_TRUE(M.erase(0, 5).isValue());
+  EXPECT_EQ(M.insert(0, 100, 1), PushResult::Done)
+      << "erase must free capacity";
+  EXPECT_EQ(M.insert(0, 200, 2), PushResult::Full)
+      << "exactly one admission was freed";
+  // Reinserting the erased key itself also works (no tombstone shadow).
+  ASSERT_TRUE(M.erase(0, 100).isValue());
+  EXPECT_EQ(M.insert(0, 5, 55), PushResult::Done);
+  const PopResult<std::uint32_t> G = M.get(1, 5);
+  ASSERT_TRUE(G.isValue());
+  EXPECT_EQ(G.value(), 55u);
+  EXPECT_EQ(M.core().liveCountForTesting(), SmallCap);
 }
 
 TEST(MapAccessCountTest, FastPolicyIsInvisibleToTheOracle) {

@@ -164,6 +164,10 @@ TEST(AccessCounterTest, DeltaOperator) {
 }
 
 //===----------------------------------------------------------------------===
+// Reclamation channel: the uncounted access lane
+//===----------------------------------------------------------------------===
+
+//===----------------------------------------------------------------------===
 // Sched hook plumbing
 //===----------------------------------------------------------------------===
 
@@ -189,6 +193,57 @@ TEST(SchedHookTest, HookSeesEveryAccess) {
   (void)Reg.read(); // Outside scope: not hooked.
   EXPECT_EQ(Hook.Calls, 3);
   EXPECT_EQ(Hook.LastKind, AccessKind::Cas);
+}
+
+//===----------------------------------------------------------------------===
+// Reclamation channel: the uncounted access lane
+//===----------------------------------------------------------------------===
+
+// The reclamation channel (readReclaim / writeReclaim /
+// compareAndSwapReclaim) is memory-system bookkeeping, not algorithm
+// steps: it must be invisible to the access oracle so hazard
+// publication and retire-list maintenance cannot perturb the paper's
+// solo access bounds.
+TEST(ReclaimChannelTest, InvisibleToTheAccessOracle) {
+  AtomicRegister<std::uint32_t> Reg(7);
+  const AccessCounts Counts = countAccesses([&] {
+    EXPECT_EQ(Reg.readReclaim(), 7u);
+    Reg.writeReclaim(8);
+    EXPECT_TRUE(Reg.compareAndSwapReclaim(8, 9));
+    EXPECT_FALSE(Reg.compareAndSwapReclaim(8, 10));
+    (void)Reg.read(); // The one access that *should* count.
+  });
+  EXPECT_EQ(Counts.total(), 1u);
+  EXPECT_EQ(Counts.Reads, 1u);
+  EXPECT_EQ(Counts.CasAttempts, 0u);
+}
+
+// Fault injectors hang off the sched hook's preAccess path, so an
+// uncounted tail is crash-atomic with the counted access before it: a
+// crash can land before the linearizing C&S or after the whole tail,
+// never in between. That property reduces to "reclaim ops never invoke
+// the hook".
+TEST(ReclaimChannelTest, InvisibleToSchedHooks) {
+  AtomicRegister<std::uint32_t> Reg(0);
+  CountingHook Hook;
+  {
+    SchedHookScope Scope(Hook);
+    (void)Reg.readReclaim();
+    Reg.writeReclaim(1);
+    (void)Reg.compareAndSwapReclaim(1, 2);
+  }
+  EXPECT_EQ(Hook.Calls, 0);
+}
+
+TEST(ReclaimChannelTest, SemanticsMatchTheCountedOps) {
+  AtomicRegister<std::uint64_t> Reg(5);
+  EXPECT_EQ(Reg.readReclaim(), 5u);
+  Reg.writeReclaim(6);
+  EXPECT_EQ(Reg.peekForTesting(), 6u);
+  EXPECT_FALSE(Reg.compareAndSwapReclaim(5, 7)); // stale expected
+  EXPECT_EQ(Reg.peekForTesting(), 6u);
+  EXPECT_TRUE(Reg.compareAndSwapReclaim(6, 7));
+  EXPECT_EQ(Reg.read(), 7u); // visible to the counted lane: same cell
 }
 
 //===----------------------------------------------------------------------===
