@@ -30,6 +30,7 @@
 #include "core/NonBlockingStack.h"
 #include "locks/McsLock.h"
 #include "locks/TicketLock.h"
+#include "perf/AdaptiveShardedStack.h"
 #include "perf/CombiningObjects.h"
 #include "perf/EliminatingStack.h"
 #include "perf/ShardedStack.h"
@@ -259,6 +260,33 @@ struct ShardedStackAdapter {
   obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
   std::size_t footprintBytes() const { return Stack.footprintBytes(); }
   ShardedStack<4> Stack;
+};
+
+/// Adaptive mask over eight Figure 3 shards driven by the obs control
+/// loop (perf/AdaptiveShardedStack.h). Starts at one shard; the
+/// controller widens the mask under lock-path pressure and retires
+/// shards when the load goes shortcut-dominant, so E18 can compare one
+/// object against every static shard count across load phases.
+struct AdaptiveStackAdapter {
+  static constexpr const char *Name = "adaptive(<=8xfig3)";
+  AdaptiveStackAdapter(std::uint32_t Threads, std::uint32_t Capacity)
+      : Stack(Threads, Capacity - Capacity % 8, /*InitialShards=*/1,
+              /*SlotCount=*/Threads > 2 ? Threads / 2 : 1,
+              /*SpinBudget=*/64) {}
+  OpOutcome apply(std::uint32_t Tid, bool IsPush, std::uint32_t V,
+                  std::uint64_t &) {
+    return IsPush ? fromPush(Stack.push(Tid, V)) : fromPop(Stack.pop(Tid));
+  }
+  void prefillOne(std::uint32_t V) { (void)Stack.push(0, V); }
+  std::uint64_t exchanges() const {
+    return Stack.eliminationExchangesForTesting();
+  }
+  std::uint32_t activeShards() const { return Stack.activeShards(); }
+  std::uint64_t reconfigEpoch() const { return Stack.reconfigEpoch(); }
+  // No lastPath, for the same reason as ShardedStackAdapter.
+  obs::PathSnapshot pathSnapshot() const { return Stack.pathSnapshot(); }
+  std::size_t footprintBytes() const { return Stack.footprintBytes(); }
+  AdaptiveShardedStack<8> Stack;
 };
 
 /// Crash-tolerant Figure 3 (core/CrashTolerantStack.h): leased lock,

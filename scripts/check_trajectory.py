@@ -51,6 +51,7 @@ KEY_FIELDS = {
     "slots",
     "batch",
     "group",
+    "phase",
     "key_range",
     "read_percent",
 }

@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace csobj {
@@ -35,8 +36,11 @@ public:
   using Key = std::uint32_t;
   using Value = std::uint32_t;
 
+  /// \p NumThreads sizes the lock's per-process state; zero would build
+  /// an unusable guard, so it is rejected outright (hard check — the
+  /// same audit as ShardedStack/SkipListCore construction).
   LockedMap(std::uint32_t NumThreads, std::uint32_t Capacity)
-      : Guard(NumThreads), CapacityK(Capacity) {
+      : Guard(checkedThreads(NumThreads)), CapacityK(Capacity) {
     Entries.reserve(Capacity);
   }
 
@@ -90,6 +94,12 @@ private:
     Key K;
     Value Val;
   };
+
+  static std::uint32_t checkedThreads(std::uint32_t NumThreads) {
+    if (NumThreads < 1)
+      throw std::invalid_argument("LockedMap: need at least one process");
+    return NumThreads;
+  }
 
   Entry *lookup(Key K) {
     auto It = std::lower_bound(

@@ -81,6 +81,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 namespace csobj {
@@ -116,16 +117,17 @@ public:
   /// \p NumThreads sizes the hazard domain and the over-admission
   /// slack; \p Capacity is the *live* distinct-key bound. Construct
   /// outside counting scopes: initialisation writes the head's links.
+  /// Parameter violations throw std::invalid_argument — hard checks, not
+  /// asserts, because an NDEBUG build would otherwise size the node pool
+  /// and index space inconsistently and corrupt links much later.
   SkipListCore(std::uint32_t NumThreads, std::uint32_t Capacity)
-      : Cap(Capacity), N(NumThreads),
+      : Cap(checkedCapacity(NumThreads, Capacity)), N(NumThreads),
         NodeBudget(1 + Capacity + 2 * NumThreads +
                    2 * NumThreads * NumThreads * HazardSlots),
         DirSlots((NodeBudget + SegmentNodes - 1) / SegmentNodes),
         Domain(NumThreads, HazardSlots),
         Dir(std::make_unique<std::atomic<Segment *>[]>(DirSlots)),
         Spare(NumThreads, NilIdx) {
-    assert(NumThreads >= 1 && "need at least one process");
-    assert(Capacity < NilIdx && "capacity exceeds the 31-bit index space");
     for (std::uint32_t S = 0; S < DirSlots; ++S)
       Dir[S].store(nullptr, std::memory_order_relaxed);
     installSegment(0);
@@ -402,6 +404,18 @@ public:
   }
 
 private:
+  /// Runs before any member is sized: a bad capacity must not allocate
+  /// a directory for ~2^31 nodes on its way to being rejected.
+  static std::uint32_t checkedCapacity(std::uint32_t NumThreads,
+                                       std::uint32_t Capacity) {
+    if (NumThreads < 1)
+      throw std::invalid_argument("SkipListCore: need at least one process");
+    if (Capacity >= NilIdx)
+      throw std::invalid_argument(
+          "SkipListCore: capacity exceeds the 31-bit index space");
+    return Capacity;
+  }
+
   /// Per-key state. Key/Height are plain relaxed atomics, not counted
   /// registers: they are immutable between a node's publication and its
   /// retirement, and a traversal only reads them while the node is

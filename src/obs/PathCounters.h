@@ -104,9 +104,13 @@ enum class Event : std::uint8_t {
   CombinedOp,        ///< One request served by a combiner (self included).
   DoorwayTimeout,    ///< enterBounded exhausted its patience.
   LeaseTimeout,      ///< lockBounded exhausted its patience.
+  ShardGrow,         ///< Adaptive facade activated one more shard.
+  ShardShrink,       ///< Adaptive facade retired its top active shard.
+  GateWiden,         ///< Controller doubled the elimination spin budget.
+  GateNarrow,        ///< Controller halved the elimination spin budget.
 };
 
-inline constexpr unsigned NumEvents = 9;
+inline constexpr unsigned NumEvents = 13;
 
 /// Log2 size classes of the batch-group histogram: bucket I counts
 /// groups of k in [2^I, 2^(I+1)); the last bucket absorbs everything

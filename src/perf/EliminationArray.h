@@ -41,6 +41,7 @@
 #include "support/BitPack.h"
 #include "support/CacheLine.h"
 #include "support/SpinWait.h"
+#include "support/SplitMix64.h"
 
 #include <atomic>
 #include <cassert>
@@ -50,6 +51,21 @@
 #include <optional>
 
 namespace csobj {
+
+namespace detail {
+/// Per-instance nonce for elimination slot-probe hints, analogous to
+/// deriveBackoffSeed (support/Backoff.h): a global construction sequence
+/// whitened through SplitMix64. Facades mix this into their slot hints so
+/// two unrelated objects never walk the same probe sequence — a shared
+/// `static thread_local` probe counter alone restarts identically in
+/// every fresh thread, correlating rendezvous attempts across instances.
+inline std::uint64_t deriveSlotNonce() {
+  static std::atomic<std::uint64_t> Nonce{0};
+  SplitMix64 Mix((Nonce.fetch_add(1, std::memory_order_relaxed) + 1) *
+                 0x9e3779b97f4a7c15ull);
+  return Mix();
+}
+} // namespace detail
 
 /// Elimination array over 32-bit payloads (the value field of the
 /// Compact64 codec family).
@@ -86,7 +102,8 @@ public:
       const std::uint64_t Waiting = makeSlot(WaitingGive, V, bumpTag(W));
       if (!Slot.compareAndSwap(W, Waiting))
         return false;
-      for (std::uint32_t Spin = 0; Spin < SpinBudget; ++Spin) {
+      const std::uint32_t Budget = spinBudget();
+      for (std::uint32_t Spin = 0; Spin < Budget; ++Spin) {
         if (Slot.read() != Waiting) {
           // Only a matching taker can move us (WaitingGive -> Done).
           Slot.write(makeSlot(Empty, 0, bumpTag(Waiting) + 1));
@@ -129,7 +146,8 @@ public:
       const std::uint64_t Waiting = makeSlot(WaitingTake, 0, bumpTag(W));
       if (!Slot.compareAndSwap(W, Waiting))
         return std::nullopt;
-      for (std::uint32_t Spin = 0; Spin < SpinBudget; ++Spin) {
+      const std::uint32_t Budget = spinBudget();
+      for (std::uint32_t Spin = 0; Spin < Budget; ++Spin) {
         const std::uint64_t Now = Slot.read();
         if (Now != Waiting) {
           // A giver moved us to Done carrying its value.
@@ -166,7 +184,19 @@ public:
   }
 
   std::uint32_t slotCount() const { return SlotCount; }
-  std::uint32_t spinBudget() const { return SpinBudget; }
+  std::uint32_t spinBudget() const {
+    return SpinBudget.load(std::memory_order_relaxed);
+  }
+
+  /// Retunes the rendezvous window width. The budget is a plain relaxed
+  /// atomic like the exchange counter — a control knob, not algorithm
+  /// state — so adjusting it adds no decision points to the explorer's
+  /// schedule tree and no accesses to the solo counts. Each rendezvous
+  /// reads the budget once on entry; in-flight waits finish under the
+  /// budget they started with.
+  void setSpinBudget(std::uint32_t Budget) {
+    SpinBudget.store(Budget, std::memory_order_relaxed);
+  }
 
   /// Heap owned by the array: the padded rendezvous slots.
   std::size_t heapBytes() const {
@@ -222,7 +252,7 @@ private:
   void noteExchange() { Exchanges.fetch_add(1, std::memory_order_relaxed); }
 
   const std::uint32_t SlotCount;
-  const std::uint32_t SpinBudget;
+  std::atomic<std::uint32_t> SpinBudget;
   std::unique_ptr<PaddedSlot[]> Slots;
   std::atomic<std::uint64_t> Exchanges{0};
 };

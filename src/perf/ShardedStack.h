@@ -51,6 +51,13 @@
 /// other shards, a Full/Empty answer can be deferred indefinitely. In
 /// return, non-boundary operations never help and never wait on other
 /// shards. DESIGN.md places this on the progress-downgrade lattice.
+/// Failed boundary rounds back off (randomized exponential, yielding
+/// past the cap): on an oversubscribed host the chaser's hot spin is
+/// precisely what starves the operations that would quiesce the bag, so
+/// surrendering the timeslice is both a courtesy and the fastest route
+/// to a stable witness. The soak harness's per-op watchdog caught the
+/// unthrottled loop chasing a churning near-boundary bag past its
+/// deadline; the backoff is off the solo path (first probe succeeds).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,13 +67,14 @@
 #include "core/ContentionSensitiveStack.h"
 #include "obs/PathCounters.h"
 #include "perf/EliminationArray.h"
+#include "support/Backoff.h"
 
 #include <array>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 
 namespace csobj {
 
@@ -85,14 +93,14 @@ public:
   static_assert(sizeof(Value) <= sizeof(std::uint32_t),
                 "elimination slots carry 32-bit payloads");
 
-  /// \p TotalCapacity must divide evenly across the shards.
+  /// \p TotalCapacity must divide evenly across the shards and give each
+  /// shard at least one slot. Violations throw std::invalid_argument —
+  /// hard checks, not asserts, because an NDEBUG build would otherwise
+  /// silently construct a zero-capacity or capacity-losing bag.
   ShardedStack(std::uint32_t NumThreads, std::uint32_t TotalCapacity,
                std::uint32_t SlotCount = 4, std::uint32_t SpinBudget = 64)
-      : N(NumThreads), PerShard(TotalCapacity / NumShards),
+      : N(NumThreads), PerShard(checkedPerShard(TotalCapacity)),
         Elim(SlotCount, SpinBudget) {
-    assert(TotalCapacity % NumShards == 0 &&
-           "capacity must divide evenly across shards");
-    assert(PerShard >= 1 && "each shard needs capacity");
     for (std::uint32_t S = 0; S < NumShards; ++S)
       Shards[S].emplace(NumThreads, PerShard);
   }
@@ -112,6 +120,7 @@ public:
         return PushResult::Done;
       }
     }
+    std::optional<ExponentialBackoff> Boundary;
     while (true) {
       for (std::uint32_t I = 0; I < NumShards; ++I) {
         const std::uint32_t S = (Home + I) % NumShards;
@@ -134,7 +143,12 @@ public:
       }
       if (allShardsStable(/*WantFull=*/true))
         return PushResult::Full;
-      // Movement detected: some shard had (or freed) room — re-probe.
+      // Movement detected: some shard had (or freed) room — re-probe,
+      // but back off first (lazily built: the solo path never gets
+      // here, and construction draws a per-thread RNG seed).
+      if (!Boundary)
+        Boundary.emplace();
+      Boundary->onFailure();
     }
   }
 
@@ -150,6 +164,7 @@ public:
         return PopResult<Value>::value(static_cast<Value>(*V));
       }
     }
+    std::optional<ExponentialBackoff> Boundary;
     while (true) {
       for (std::uint32_t I = 0; I < NumShards; ++I) {
         const std::uint32_t S = (Home + I) % NumShards;
@@ -166,6 +181,9 @@ public:
       }
       if (allShardsStable(/*WantFull=*/false))
         return PopResult<Value>::empty();
+      if (!Boundary)
+        Boundary.emplace();
+      Boundary->onFailure();
     }
   }
 
@@ -183,8 +201,10 @@ public:
     for (std::uint32_t I = 0; I < NumShards && Pushed < Count; ++I)
       Pushed += shard((Home + I) % NumShards)
                     .push_all(Tid, Vs + Pushed, Count - Pushed);
+    const std::size_t SeamPushed = Pushed;
     while (Pushed < Count && push(Tid, Vs[Pushed]) == PushResult::Done)
       ++Pushed;
+    bookBatchFallback(Tid, Pushed - SeamPushed);
     return Pushed;
   }
 
@@ -198,12 +218,14 @@ public:
     for (std::uint32_t I = 0; I < NumShards && Got < MaxCount; ++I)
       Got += shard((Home + I) % NumShards)
                  .pop_all(Tid, Out + Got, MaxCount - Got);
+    const std::size_t SeamGot = Got;
     while (Got < MaxCount) {
       const PopResult<Value> Res = pop(Tid);
       if (!Res.isValue())
         break;
       Out[Got++] = Res.value();
     }
+    bookBatchFallback(Tid, Got - SeamGot);
     return Got;
   }
 
@@ -216,6 +238,12 @@ public:
   /// first, so a directed schedule can force an exchange without racing
   /// the shards.
   void forceBalancerForTesting(bool Force) { ForceBalance = Force; }
+
+  /// Exposes the slot-probe hint stream so the two-instance divergence
+  /// regression can observe it without racing the rendezvous machinery.
+  std::uint64_t slotHintForTesting(std::uint32_t Tid) {
+    return slotHint(Tid);
+  }
 
   std::uint32_t capacity() const { return PerShard * NumShards; }
   std::uint32_t shardCapacity() const { return PerShard; }
@@ -343,13 +371,45 @@ private:
     return static_cast<std::uint32_t>(TopC::unpack(W).Index);
   }
 
-  static std::uint64_t slotHint(std::uint32_t Tid) {
+  static std::uint32_t checkedPerShard(std::uint32_t TotalCapacity) {
+    if (TotalCapacity % NumShards != 0)
+      throw std::invalid_argument(
+          "ShardedStack: capacity must divide evenly across shards");
+    if (TotalCapacity / NumShards == 0)
+      throw std::invalid_argument(
+          "ShardedStack: each shard needs capacity >= 1");
+    return TotalCapacity / NumShards;
+  }
+
+  /// Slot-probe hint: home-biased by Tid, advanced per probe, and
+  /// decorrelated between facade instances by the per-object nonce (the
+  /// bare thread_local counter restarts identically in every fresh
+  /// thread, so without the nonce two unrelated facades probe the same
+  /// slot sequence).
+  std::uint64_t slotHint(std::uint32_t Tid) {
     static thread_local std::uint64_t Counter = 0;
-    return (static_cast<std::uint64_t>(Tid) << 32) ^ Counter++;
+    return (static_cast<std::uint64_t>(Tid) << 32) ^ SlotNonce ^ Counter++;
+  }
+
+  /// Books \p Fallback batch elements that landed through the facade's
+  /// per-element boundary loop instead of a shard group seam. The shard
+  /// skeletons already retired those entries on their own (non-batched)
+  /// paths, so without this the group's path_batched / group-size
+  /// histogram under-report exactly the fallback suffix; one facade-level
+  /// group booking restores "every element of a group API call is
+  /// counted as group work" while keeping each sink's conservation law
+  /// intact (ops and paths are added in balance).
+  void bookBatchFallback(std::uint32_t Tid, std::size_t Fallback) {
+    if (Fallback == 0)
+      return;
+    Sink.onOp(Tid, Fallback);
+    Sink.onPath(Tid, obs::Path::Batched, Fallback);
+    Sink.onBatch(Tid, Fallback);
   }
 
   const std::uint32_t N;
   const std::uint32_t PerShard;
+  const std::uint64_t SlotNonce = detail::deriveSlotNonce();
   std::array<std::optional<Shard>, NumShards> Shards;
   EliminationArrayT<Policy> Elim;
   bool ForceBalance = false;

@@ -30,6 +30,7 @@
 #include "faults/FaultInjector.h"
 #include "memory/AccessCounter.h"
 #include "memory/ChaosHook.h"
+#include "perf/AdaptiveShardedStack.h"
 #include "perf/CombiningObjects.h"
 #include "perf/ShardedStack.h"
 #include "runtime/SpinBarrier.h"
@@ -588,6 +589,82 @@ TEST(BatchSharded, BatchFansOutAcrossShardsAndConserves) {
   EXPECT_EQ(S.sizeForTesting(), 8u);
   EXPECT_EQ(S.drain(1, Out, 10), 8u);
   EXPECT_TRUE(S.pathSnapshot().conserves());
+}
+
+/// Regression for the dropped fallback accounting: a batch element that
+/// lands through the facade's per-element boundary loop (here: an empty
+/// bag, where pop_all's seam finds nothing but the fallback pop is fed
+/// by a parked push through the balancer) must still be booked as group
+/// work. Before the fix, the fallback suffix vanished from path_batched
+/// and the group histogram while conservation still held — so this test
+/// pins the group-accounting claim itself, not just conserves().
+TEST(BatchSharded, FallbackSuffixIsBookedAsGroupWork) {
+  ShardedStack<2> S(2, 4, /*SlotCount=*/1, /*SpinBudget=*/8);
+  S.forceBalancerForTesting(true);
+  std::optional<PushResult> Pushed;
+  std::uint32_t Out[2] = {};
+  std::size_t Got = 0;
+  std::uint32_t GiverGrants = 0;
+  InterleaveScheduler Scheduler(2);
+  Scheduler.run(
+      {[&] { Pushed = S.push(0, 42); }, [&] { Got = S.pop_all(1, Out, 1); }},
+      [&](std::size_t, const std::vector<std::uint32_t> &Parked)
+          -> std::uint32_t {
+        const bool HasGiver =
+            std::find(Parked.begin(), Parked.end(), 0u) != Parked.end();
+        const bool HasTaker =
+            std::find(Parked.begin(), Parked.end(), 1u) != Parked.end();
+        // The giver parks 42 in the slot, then the batch's fallback pop
+        // matches it — the element retires through the facade loop, not
+        // a shard group seam.
+        if (GiverGrants < 2 && HasGiver) {
+          ++GiverGrants;
+          return 0;
+        }
+        if (HasTaker)
+          return 1;
+        return Parked.front();
+      });
+  ASSERT_TRUE(Pushed.has_value());
+  EXPECT_EQ(*Pushed, PushResult::Done);
+  ASSERT_EQ(Got, 1u);
+  EXPECT_EQ(Out[0], 42u);
+  if constexpr (obs::MetricsEnabled) {
+    const obs::PathSnapshot Snap = S.pathSnapshot();
+    EXPECT_EQ(Snap.path(obs::Path::Batched), 1u)
+        << "the fallback element must count as group work";
+    EXPECT_EQ(Snap.batchCount(), 1u) << "one group histogram entry";
+    EXPECT_EQ(Snap.BatchMax, 1u);
+    EXPECT_TRUE(Snap.conserves());
+  }
+}
+
+/// The same accounting seam on the adaptive facade (its push_all/pop_all
+/// share the fix).
+TEST(BatchSharded, AdaptiveFacadeBatchesFanOutAndConserve) {
+  AdaptiveShardedStack<2> S(2, 8, /*InitialShards=*/1, /*SlotCount=*/1,
+                            /*SpinBudget=*/4);
+  std::uint32_t Vs[10];
+  for (std::uint32_t I = 0; I < 10; ++I)
+    Vs[I] = I + 1;
+  // The batch overflows the one-shard mask: the seam fills shard 0, the
+  // fallback pushes grow the mask and land the rest, and the suffix is
+  // rejected only at the full mask.
+  EXPECT_EQ(S.push_all(0, Vs, 10), 8u);
+  EXPECT_EQ(S.activeShards(), 2u) << "a full batch must grow, not stop";
+  EXPECT_EQ(S.sizeForTesting(), 8u);
+  std::uint32_t Out[10] = {};
+  EXPECT_EQ(S.pop_all(0, Out, 10), 8u);
+  std::vector<std::uint32_t> Drained(Out, Out + 8);
+  std::sort(Drained.begin(), Drained.end());
+  EXPECT_EQ(Drained,
+            (std::vector<std::uint32_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(S.sizeForTesting(), 0u);
+  if constexpr (obs::MetricsEnabled) {
+    const obs::PathSnapshot Snap = S.pathSnapshot();
+    EXPECT_TRUE(Snap.conserves());
+    EXPECT_GT(Snap.path(obs::Path::Batched), 0u);
+  }
 }
 
 //===----------------------------------------------------------------------===

@@ -105,7 +105,7 @@ TEST(ConformanceRegistryTest, MatrixHasNoEmptyCells) {
     EXPECT_TRUE(E.CrashOrStall) << E.Name;
     EXPECT_TRUE(E.AccessBound) << E.Name;
   }
-  EXPECT_GE(Names.size(), 26u);
+  EXPECT_GE(Names.size(), 32u);
 }
 
 TEST(ConformanceRegistryTest, EveryCoreHeaderHasABatteryEntry) {

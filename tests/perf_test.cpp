@@ -13,11 +13,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "baselines/LockedMap.h"
+#include "core/SkipListCore.h"
+#include "faults/FaultInjector.h"
+#include "faults/FaultPlan.h"
 #include "memory/AccessCounter.h"
 #include "memory/ChaosHook.h"
+#include "perf/AdaptiveShardedStack.h"
 #include "perf/CombiningObjects.h"
 #include "perf/EliminatingStack.h"
 #include "perf/EliminationArray.h"
+#include "perf/ShardController.h"
 #include "perf/ShardedStack.h"
 #include "runtime/SpinBarrier.h"
 #include "sched/InterleaveScheduler.h"
@@ -29,6 +35,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -460,6 +467,341 @@ TEST(SoloAccessCounts, ShardedStackStaysAtSix) {
   ShardedStack<2> S(2, 4);
   EXPECT_EQ(countAccesses([&] { (void)S.push(0, 7); }).total(), 6u);
   EXPECT_EQ(countAccesses([&] { (void)S.pop(0); }).total(), 6u);
+}
+
+//===----------------------------------------------------------------------===
+// Constructor hard checks: bad geometry must throw, not assert (satellite
+// audit — an NDEBUG build used to strip these checks entirely)
+//===----------------------------------------------------------------------===
+
+TEST(CtorChecks, ShardedFacadesRejectBadGeometry) {
+  // Capacity not divisible across shards.
+  EXPECT_THROW(ShardedStack<2>(2, 5), std::invalid_argument);
+  // Zero capacity per shard.
+  EXPECT_THROW(ShardedStack<4>(2, 0), std::invalid_argument);
+  EXPECT_THROW(AdaptiveShardedStack<2>(2, 5), std::invalid_argument);
+  EXPECT_THROW(AdaptiveShardedStack<4>(2, 0), std::invalid_argument);
+  // Initial mask outside [1, MaxShards].
+  EXPECT_THROW(AdaptiveShardedStack<2>(2, 4, /*InitialShards=*/0),
+               std::invalid_argument);
+  EXPECT_THROW(AdaptiveShardedStack<2>(2, 4, /*InitialShards=*/3),
+               std::invalid_argument);
+}
+
+TEST(CtorChecks, CoreAndBaselineCtorsRejectBadGeometry) {
+  // The same audit applied to the other validating constructors: the
+  // skip list must reject before sizing its directory (a capacity at the
+  // index-space limit would otherwise allocate gigabytes then corrupt
+  // links), and the locked baseline must reject a zero-process guard.
+  EXPECT_THROW(SkipListCore<>(0, 8), std::invalid_argument);
+  EXPECT_THROW(SkipListCore<>(2, SkipListCore<>::NilIdx),
+               std::invalid_argument);
+  EXPECT_THROW(LockedMap<>(0, 8), std::invalid_argument);
+}
+
+//===----------------------------------------------------------------------===
+// Slot-hint decorrelation: unrelated facades must not probe in lockstep
+//===----------------------------------------------------------------------===
+
+/// Each stream is observed from a FRESH thread, so the thread_local probe
+/// counter restarts at zero for both instances — exactly the state in
+/// which the pre-nonce implementation (one counter shared by every
+/// facade) emitted identical hint streams for unrelated objects, making
+/// their slot probes collide in lockstep.
+TEST(SlotHints, StreamsDivergeAcrossInstances) {
+  auto Collect = [](auto &S) {
+    std::vector<std::uint64_t> Hints;
+    std::thread Observer([&] {
+      for (std::uint32_t I = 0; I < 8; ++I)
+        Hints.push_back(S.slotHintForTesting(0));
+    });
+    Observer.join();
+    return Hints;
+  };
+  ShardedStack<2> A(2, 4), B(2, 4);
+  EXPECT_NE(Collect(A), Collect(B))
+      << "two facades probed the same slot sequence";
+  AdaptiveShardedStack<2> C(2, 4), D(2, 4);
+  EXPECT_NE(Collect(C), Collect(D));
+}
+
+//===----------------------------------------------------------------------===
+// ShardController: the control law against synthetic snapshot deltas
+//===----------------------------------------------------------------------===
+
+/// Builds a snapshot whose delta against zero retires \p Shortcut ops on
+/// the shortcut path, \p Lock on the lock path and \p Eliminated on the
+/// elimination path.
+obs::PathSnapshot controlWindow(std::uint64_t Shortcut, std::uint64_t Lock,
+                                std::uint64_t Eliminated) {
+  obs::PathSnapshot S;
+  S.Ops = Shortcut + Lock + Eliminated;
+  S.Paths[static_cast<unsigned>(obs::Path::Shortcut)] = Shortcut;
+  S.Paths[static_cast<unsigned>(obs::Path::Lock)] = Lock;
+  S.Paths[static_cast<unsigned>(obs::Path::Eliminated)] = Eliminated;
+  return S;
+}
+
+TEST(ShardControllerLaw, GrowsOnLockHeavyDeltaUntilFullMask) {
+  ShardController Ctl;
+  const ShardActions Act =
+      Ctl.sample(controlWindow(900, 100, 0), /*Active=*/1, /*MaxShards=*/4,
+                 /*SpinBudget=*/64);
+  EXPECT_EQ(Act.Mask, ShardActions::MaskMove::Grow)
+      << "a 10% lock-path window must widen the mask";
+  // The same pressure at the full mask holds (nowhere to grow).
+  obs::PathSnapshot Next = controlWindow(1800, 200, 0);
+  EXPECT_EQ(Ctl.sample(Next, 4, 4, 64).Mask, ShardActions::MaskMove::Hold);
+}
+
+TEST(ShardControllerLaw, ShrinksOnShortcutDominantDeltaToFloorOne) {
+  ShardController Ctl;
+  EXPECT_EQ(Ctl.sample(controlWindow(990, 10, 0), 2, 4, 64).Mask,
+            ShardActions::MaskMove::Shrink)
+      << "a 99% shortcut window must retire a shard";
+  EXPECT_EQ(Ctl.sample(controlWindow(1980, 20, 0), 1, 4, 64).Mask,
+            ShardActions::MaskMove::Hold)
+      << "the mask never shrinks below one shard";
+}
+
+TEST(ShardControllerLaw, SubThresholdDeltasAccumulate) {
+  ShardController Ctl; // MinDeltaOps = 64.
+  EXPECT_EQ(Ctl.sample(controlWindow(2, 30, 0), 1, 4, 64).Mask,
+            ShardActions::MaskMove::Hold)
+      << "a 32-op window is noise, not a signal";
+  EXPECT_EQ(Ctl.lastSample().Ops, 0u)
+      << "an unconsumed window must keep accumulating";
+  EXPECT_EQ(Ctl.sample(controlWindow(6, 90, 0), 1, 4, 64).Mask,
+            ShardActions::MaskMove::Grow)
+      << "the accumulated 96-op window carries the decision";
+  EXPECT_EQ(Ctl.lastSample().Ops, 96u);
+}
+
+TEST(ShardControllerLaw, GateTracksPairingRateWithinClampBounds) {
+  ShardController Ctl;
+  EXPECT_EQ(Ctl.sample(controlWindow(900, 0, 100), 1, 1, 64).Gate,
+            ShardActions::GateMove::Widen)
+      << "a 10% pairing window doubles the spin budget";
+  EXPECT_EQ(Ctl.sample(controlWindow(1800, 0, 200), 1, 1, 4096).Gate,
+            ShardActions::GateMove::Hold)
+      << "widening clamps at MaxSpinBudget";
+  EXPECT_EQ(Ctl.sample(controlWindow(2800, 0, 200), 1, 1, 64).Gate,
+            ShardActions::GateMove::Narrow)
+      << "a pairing-free window halves the budget";
+  EXPECT_EQ(Ctl.sample(controlWindow(3800, 0, 200), 1, 1, 8).Gate,
+            ShardActions::GateMove::Hold)
+      << "narrowing clamps at MinSpinBudget";
+}
+
+//===----------------------------------------------------------------------===
+// AdaptiveShardedStack: mask protocol, certificates, control loop
+//===----------------------------------------------------------------------===
+
+TEST(AdaptiveStack, GrowOnFullKeepsObservableCapacityTotal) {
+  AdaptiveShardedStack<2> S(2, 4, /*InitialShards=*/1, /*SlotCount=*/1,
+                            /*SpinBudget=*/4);
+  EXPECT_EQ(S.capacity(), 4u);
+  EXPECT_EQ(S.activeShards(), 1u);
+  // Four pushes all land even though the initial mask holds two slots:
+  // the third finds every active shard full and grows instead of
+  // certifying.
+  for (std::uint32_t V = 1; V <= 4; ++V)
+    ASSERT_EQ(S.push(0, V), PushResult::Done) << "value " << V;
+  EXPECT_EQ(S.activeShards(), 2u);
+  EXPECT_GE(S.reconfigEpoch(), 1u);
+  // Full only at the full mask, via the epoch-stable all-full witness.
+  EXPECT_EQ(S.push(0, 5), PushResult::Full);
+  if constexpr (obs::MetricsEnabled) {
+    EXPECT_EQ(S.pathSnapshot().event(obs::Event::ShardGrow), 1u);
+  }
+
+  std::vector<std::uint32_t> Popped;
+  for (std::uint32_t I = 0; I < 4; ++I) {
+    const PopResult<std::uint32_t> R = S.pop(0);
+    ASSERT_TRUE(R.isValue());
+    Popped.push_back(R.value());
+  }
+  std::sort(Popped.begin(), Popped.end());
+  EXPECT_EQ(Popped, (std::vector<std::uint32_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(S.pop(0).isEmpty());
+  if constexpr (obs::MetricsEnabled) {
+    EXPECT_TRUE(S.pathSnapshot().conserves());
+  }
+}
+
+TEST(AdaptiveStack, ShrinkToOneRestoresSixAccessSoloBound) {
+  AdaptiveShardedStack<4> S(2, 8, /*InitialShards=*/4, /*SlotCount=*/1,
+                            /*SpinBudget=*/4);
+  while (S.activeShards() > 1)
+    ASSERT_TRUE(S.shrinkForTesting(0));
+  EXPECT_FALSE(S.shrinkForTesting(0)) << "the mask floors at one shard";
+  EXPECT_EQ(S.activeShards(), 1u);
+  // At the one-shard mask a solo op is a plain Figure 3 shortcut: the
+  // paper's exact bound, with zero adaptive tax (the mask word and tick
+  // counter are configuration state, invisible to the oracle).
+  EXPECT_EQ(countAccesses([&] { (void)S.push(0, 7); }).total(), 6u);
+  EXPECT_EQ(countAccesses([&] { (void)S.pop(0); }).total(), 6u);
+  if constexpr (obs::MetricsEnabled) {
+    EXPECT_EQ(S.pathSnapshot().event(obs::Event::ShardShrink), 3u);
+  }
+}
+
+TEST(AdaptiveStack, AutoTickShrinksUnderShortcutSoloLoad) {
+  ShardControllerConfig Ctl;
+  Ctl.TickOps = 8;
+  Ctl.MinDeltaOps = 8;
+  Ctl.ShrinkShortcutRatio = 0.9;
+  AdaptiveShardedStack<2> S(2, 4, /*InitialShards=*/2, /*SlotCount=*/1,
+                            /*SpinBudget=*/4, Ctl);
+  // Solo alternating push/pop retires everything on the shortcut path;
+  // the op-cadence tick must observe the shortcut-dominant delta and
+  // retire the idle shard without any manual prod.
+  for (std::uint32_t I = 0; I < 32; ++I) {
+    ASSERT_EQ(S.push(0, I + 1), PushResult::Done);
+    ASSERT_TRUE(S.pop(0).isValue());
+  }
+  EXPECT_EQ(S.activeShards(), 1u)
+      << "the control loop failed to shrink a shortcut-dominant mask";
+  EXPECT_GE(S.reconfigEpoch(), 1u);
+  EXPECT_EQ(countAccesses([&] { (void)S.push(0, 7); }).total(), 6u)
+      << "post-shrink solo cost must return to the paper's bound";
+  if constexpr (obs::MetricsEnabled) {
+    EXPECT_GE(S.pathSnapshot().event(obs::Event::ShardShrink), 1u);
+  }
+}
+
+TEST(AdaptiveStack, TickGrowsUnderForcedLockHeavySnapshot) {
+  if constexpr (!obs::MetricsEnabled)
+    GTEST_SKIP() << "forged snapshots need the metric sinks";
+  ShardControllerConfig Ctl;
+  Ctl.TickOps = 0; // Manual ticks only.
+  AdaptiveShardedStack<2> S(2, 4, /*InitialShards=*/1, /*SlotCount=*/1,
+                            /*SpinBudget=*/4, Ctl);
+  // Forge a lock-heavy window directly into the home shard's sink — the
+  // controller consumes snapshot deltas, so a directed test can feed it
+  // the exact signal a doorway pile-up would produce.
+  obs::MetricSink &M = S.shard(0).skeleton().metrics();
+  for (std::uint32_t I = 0; I < 64; ++I) {
+    M.onOp(0);
+    M.onPath(0, obs::Path::Lock);
+  }
+  S.tickForTesting(0);
+  EXPECT_EQ(S.activeShards(), 2u)
+      << "a 100% lock-path window must activate the second shard";
+  EXPECT_EQ(S.pathSnapshot().event(obs::Event::ShardGrow), 1u);
+}
+
+TEST(AdaptiveStack, TickRetunesEliminationGateBudget) {
+  if constexpr (!obs::MetricsEnabled)
+    GTEST_SKIP() << "forged snapshots need the metric sinks";
+  ShardControllerConfig Ctl;
+  Ctl.TickOps = 0;
+  Ctl.MinDeltaOps = 8;
+  AdaptiveShardedStack<2> S(2, 4, /*InitialShards=*/1, /*SlotCount=*/1,
+                            /*SpinBudget=*/64, Ctl);
+  obs::MetricSink &M = S.shard(0).skeleton().metrics();
+  // A pairing-rich window widens the gate...
+  for (std::uint32_t I = 0; I < 16; ++I) {
+    M.onOp(0);
+    M.onPath(0, obs::Path::Eliminated);
+  }
+  S.tickForTesting(0);
+  EXPECT_EQ(S.eliminationArray().spinBudget(), 128u);
+  // ...and a pairing-free window narrows it back.
+  for (std::uint32_t I = 0; I < 16; ++I) {
+    M.onOp(0);
+    M.onPath(0, obs::Path::Shortcut);
+  }
+  S.tickForTesting(0);
+  EXPECT_EQ(S.eliminationArray().spinBudget(), 64u);
+  const obs::PathSnapshot Snap = S.pathSnapshot();
+  EXPECT_EQ(Snap.event(obs::Event::GateWiden), 1u);
+  EXPECT_EQ(Snap.event(obs::Event::GateNarrow), 1u);
+}
+
+TEST(AdaptiveStack, StragglerInRetiredShardIsRecovered) {
+  AdaptiveShardedStack<2> S(2, 4, /*InitialShards=*/2, /*SlotCount=*/1,
+                            /*SpinBudget=*/4);
+  for (std::uint32_t V = 1; V <= 4; ++V)
+    ASSERT_EQ(S.push(0, V), PushResult::Done);
+  ASSERT_EQ(S.shard(1).sizeForTesting(), 2u);
+  ASSERT_TRUE(S.shrinkForTesting(0));
+  EXPECT_EQ(S.activeShards(), 1u);
+  EXPECT_EQ(S.shard(1).sizeForTesting(), 2u)
+      << "retirement is lazy: it must move no elements";
+  // The drain probes only shard 0, but the Empty-boundary certificate
+  // spans the retired shard and routes its elements back out.
+  std::vector<std::uint32_t> Popped;
+  for (std::uint32_t I = 0; I < 4; ++I) {
+    const PopResult<std::uint32_t> R = S.pop(0);
+    ASSERT_TRUE(R.isValue()) << "straggler " << I << " not recovered";
+    Popped.push_back(R.value());
+  }
+  std::sort(Popped.begin(), Popped.end());
+  EXPECT_EQ(Popped, (std::vector<std::uint32_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(S.pop(0).isEmpty())
+      << "Empty must certify across active and retired shards";
+  EXPECT_EQ(S.sizeForTesting(), 0u);
+  if constexpr (obs::MetricsEnabled) {
+    EXPECT_TRUE(S.pathSnapshot().conserves());
+  }
+}
+
+/// Victim-crash sweep across the post-retirement drain: shrink retires a
+/// shard still holding elements, then thread 0 drains under a crash plan
+/// swept over every shared-access index. Solo facade pops are shortcut
+/// ops and straggler pops never take a lock, so the sweep is safe; the
+/// invariant is that a crash anywhere in the drain strands nothing — a
+/// survivor recovers every remaining element (the crash itself may
+/// swallow at most the one value in transit) and the Empty certificate
+/// stays truthful.
+TEST(AdaptiveStack, CrashSweepDuringRetirementDrainStrandsNothing) {
+  for (std::uint64_t K = 0; K < 40; ++K) {
+    AdaptiveShardedStack<2> S(3, 4, /*InitialShards=*/2, /*SlotCount=*/1,
+                              /*SpinBudget=*/4);
+    for (std::uint32_t V = 1; V <= 4; ++V)
+      ASSERT_EQ(S.push(0, V), PushResult::Done);
+    ASSERT_TRUE(S.shrinkForTesting(0));
+    ASSERT_EQ(S.shard(1).sizeForTesting(), 2u);
+
+    std::vector<std::uint32_t> Got;
+    bool Crashed = false;
+    {
+      FaultClock Clock;
+      FaultInjector Injector(FaultPlan::crashAt(0, K), 0, Clock);
+      SchedHookScope Scope(Injector);
+      try {
+        for (std::uint32_t I = 0; I < 4; ++I) {
+          const PopResult<std::uint32_t> R = S.pop(0);
+          if (!R.isValue())
+            break;
+          Got.push_back(R.value());
+        }
+      } catch (const ProcessCrash &) {
+        Crashed = true;
+      }
+    }
+    // The survivor drains whatever the corpse left behind.
+    while (true) {
+      const PopResult<std::uint32_t> R = S.pop(1);
+      if (!R.isValue())
+        break;
+      Got.push_back(R.value());
+    }
+    EXPECT_TRUE(S.pop(1).isEmpty()) << "crash at access " << K;
+    EXPECT_EQ(S.sizeForTesting(), 0u)
+        << "crash at access " << K << " stranded an element";
+    std::sort(Got.begin(), Got.end());
+    ASSERT_TRUE(std::adjacent_find(Got.begin(), Got.end()) == Got.end())
+        << "crash at access " << K << " duplicated an element";
+    for (const std::uint32_t V : Got)
+      ASSERT_TRUE(V >= 1 && V <= 4);
+    // A crash may swallow the single value in transit, never more.
+    ASSERT_GE(Got.size(), Crashed ? 3u : 4u) << "crash at access " << K;
+    if (!Crashed) {
+      ASSERT_EQ(Got.size(), 4u);
+    }
+  }
 }
 
 } // namespace
